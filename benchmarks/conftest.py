@@ -1,0 +1,40 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+Every bench runs against the ``fast`` experiment profile so the whole
+suite completes in CI-friendly time on the numpy substrate; the shared
+:class:`ExperimentContext` caches the generated dataset, tool verdicts
+and trained models across benches within the pytest process.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Override profile: pytest benchmarks/ --repro-profile=standard
+"""
+
+import pytest
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import get_context
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-profile", default="fast",
+        choices=("fast", "standard", "paper"),
+        help="experiment profile for the table/figure benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def config(request) -> ExperimentConfig:
+    profile = request.config.getoption("--repro-profile")
+    return getattr(ExperimentConfig, profile)()
+
+
+@pytest.fixture(scope="session")
+def context(config):
+    return get_context(config)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,22 @@
+"""Bench: edge-type ablation (DESIGN.md extension experiment)."""
+
+from conftest import run_once
+
+from repro.eval import ablation
+
+
+def test_ablation_edge_types(benchmark, config):
+    result = run_once(benchmark, ablation.run, config)
+    print("\n" + result.render())
+
+    by_variant = {r["variant"]: r for r in result.rows}
+    full = by_variant["aug-AST (full)"]
+    tree = by_variant["AST only"]
+
+    # The augmentation must not hurt beyond seed noise (at repro scale
+    # the variants are statistical ties; see EXPERIMENTS.md).
+    assert full["f1"] >= tree["f1"] - 0.05
+
+    # Every variant learns the task.
+    for row in result.rows:
+        assert row["accuracy"] > 0.6, row["variant"]

@@ -1,0 +1,26 @@
+"""Bench: per-category accuracy breakdown (diagnostic behind Tables 2-4)."""
+
+from conftest import run_once
+
+from repro.eval import breakdown
+
+
+def test_per_category_breakdown(benchmark, config):
+    result = run_once(benchmark, breakdown.run, config)
+    print("\n" + result.render())
+
+    rows = {r["category"]: r for r in result.rows}
+    assert "non-parallel" in rows
+
+    # The model must be usable in every populated category.
+    for category, row in rows.items():
+        if row["loops"] >= 20:
+            assert row["accuracy"] > 0.5, category
+
+    # §6.4 shape: the error mass concentrates on the non-parallel class
+    # (unannotated-but-parallelisable loops), so the clause categories
+    # should not all be worse than the negative class.
+    clause_accs = [row["accuracy"] for cat, row in rows.items()
+                   if cat != "non-parallel" and row["loops"] >= 20]
+    if clause_accs:
+        assert max(clause_accs) >= rows["non-parallel"]["accuracy"] - 0.05

@@ -1,0 +1,28 @@
+"""Bench: §6.6 case study — paper listings + tools-miss-all loops."""
+
+from conftest import run_once
+
+from repro.eval import casestudy
+
+
+def test_casestudy(benchmark, config):
+    result = run_once(benchmark, casestudy.run, config)
+    print("\n" + result.render())
+
+    listing_rows = {
+        r["listing"]: r for r in result.rows if r["listing"].startswith("listing")
+    }
+    assert len(listing_rows) == 8
+
+    # Listings whose isolated form matches the paper's reported misses.
+    # (6 and 7 need the original crawled context to defeat autoPar /
+    # DiscoPoP; our simulators legitimately solve the isolated loops —
+    # documented deviation.)
+    reproducible = ("listing1", "listing2", "listing3", "listing4",
+                    "listing5", "listing8")
+    for name in reproducible:
+        assert listing_rows[name]["matches_paper"] is True, name
+
+    # Listing 1 and 8 are missed by all three tools, exactly as reported.
+    assert listing_rows["listing1"]["missed_by"] == "autopar,discopop,pluto"
+    assert listing_rows["listing8"]["missed_by"] == "autopar,discopop,pluto"

@@ -1,0 +1,30 @@
+"""Bench: §2 coverage — how much of OMP_Serial each tool can process."""
+
+from conftest import run_once
+
+from repro.eval import coverage
+
+
+def test_coverage_processability(benchmark, config):
+    result = run_once(benchmark, coverage.run, config)
+    print("\n" + result.render())
+
+    rows = {r["tool"]: r for r in result.rows}
+    assert set(rows) == {"pluto", "autopar", "discopop"}
+
+    # The paper's coverage ladder: the dynamic tool is the most starved
+    # (3.7 %), the ROSE frontend is the next bottleneck (10.3 %), source
+    # -level analysis covers the most.
+    dd = rows["discopop"]["file_gated_loop_coverage"]
+    ap = rows["autopar"]["file_gated_loop_coverage"]
+    pl = rows["pluto"]["file_gated_loop_coverage"]
+    assert dd < ap < pl
+
+    # Magnitudes in the paper's ballpark.
+    assert dd < 0.12
+    assert ap < 0.30
+    assert pl < 0.80  # even Pluto rejects most loops (non-SCoP)
+
+    # Loop-level-only coverage always >= the file-gated number.
+    for row in rows.values():
+        assert row["loop_level_only"] >= row["file_gated_loop_coverage"]

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 2 (category-wise loops missed by tools)."""
+
+from conftest import run_once
+
+from repro.eval import figure2
+
+
+def test_figure2_missed_loops(benchmark, config):
+    result = run_once(benchmark, figure2.run, config)
+    print("\n" + result.render())
+
+    by_tool = {r["tool"]: r for r in result.rows}
+    assert set(by_tool) == {"pluto", "autopar", "discopop"}
+
+    # Pluto cannot express reductions in the polyhedral model: it must
+    # miss reduction loops (every one of them, in fact).
+    pluto = by_tool["pluto"]
+    assert pluto["loops_with_reduction"] > 0
+
+    # Nested loops are a major miss category for the static tools
+    # (paper: 2525 for Pluto, 948 for autoPar).
+    assert pluto["nested_loops"] > 0
+    assert by_tool["autopar"]["nested_loops"] > 0
+
+    # Every tool misses some reduction loops (Figure 2's tallest bars).
+    for tool, row in by_tool.items():
+        assert row["loops_with_reduction"] > 0, tool
+
+    # autoPar recognises single-statement reductions, so it must miss
+    # fewer reduction loops than Pluto relative to its other misses.
+    assert by_tool["autopar"]["loops_with_reduction"] <= \
+        pluto["loops_with_reduction"]

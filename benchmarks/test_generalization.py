@@ -1,0 +1,19 @@
+"""Bench: out-of-distribution generalization to fixed benchmark kernels."""
+
+from conftest import run_once
+
+from repro.eval import generalization
+
+
+def test_generalization_to_benchmark_suite(benchmark, config):
+    result = run_once(benchmark, generalization.run, config)
+    print("\n" + result.render())
+
+    rows = {r["approach"]: r for r in result.rows}
+    aug = rows["Graph2Par (aug-AST)"]
+
+    # Transfer must be real: clearly better than chance on the suite.
+    assert aug["accuracy"] > 0.55
+
+    # Models should not collapse to a constant answer.
+    assert 0 < aug["predicted_parallel"] < aug["kernels"]

@@ -1,0 +1,27 @@
+"""Bench: §6.5 overhead — aug-AST construction cost per loop."""
+
+from conftest import run_once
+
+from repro.cfront import parse_loop
+from repro.eval import overhead
+from repro.graphs import build_aug_ast
+
+LISTING1 = (
+    "for (i = 0; i < 30000000; i++)\n"
+    "    error = error + fabs(a[i] - a[i+1]);"
+)
+
+
+def test_overhead_experiment(benchmark, config):
+    result = run_once(benchmark, overhead.run, config)
+    print("\n" + result.render())
+    total = result.row_for(stage="total per loop")
+    # "Order of milliseconds" per the paper; generous CI bound.
+    assert total["avg_ms"] < 50.0
+
+
+def test_single_loop_augast_latency(benchmark):
+    """Microbenchmark: one aug-AST build on the paper's Listing 1."""
+    loop = parse_loop(LISTING1)
+    graph = benchmark(build_aug_ast, loop)
+    assert graph.num_nodes > 10

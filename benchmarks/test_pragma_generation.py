@@ -1,0 +1,17 @@
+"""Bench: extension — complete pragma generation (paper §8 future work)."""
+
+from conftest import run_once
+
+from repro.eval import generation
+
+
+def test_pragma_generation(benchmark, config):
+    result = run_once(benchmark, generation.run, config)
+    print("\n" + result.render())
+
+    row = result.rows[0]
+    assert row["loops"] > 0
+    # The suggester must recover most annotated-parallel loops...
+    assert row["suggested_parallel"] > 0.6 * row["loops"]
+    # ...and agree with the developer's directive on a solid majority.
+    assert row["directive_agreement"] > 0.5

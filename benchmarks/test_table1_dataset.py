@@ -1,0 +1,39 @@
+"""Bench: regenerate Table 1 (OMP_Serial statistics)."""
+
+from conftest import run_once
+
+from repro.eval import table1
+
+
+def test_table1_dataset_statistics(benchmark, config):
+    result = run_once(benchmark, table1.run, config)
+    print("\n" + result.render())
+
+    rows = {(r["source"], r["pragma_type"]): r for r in result.rows}
+
+    # All four pragma categories plus plain parallel and non-parallel.
+    github_cats = {k[1] for k in rows if k[0] == "github"}
+    assert {"reduction", "private", "simd", "target", "-"} <= github_cats
+
+    # Category proportions track the paper (private is the largest
+    # parallel category; non-parallel outnumbers every single category).
+    private = rows[("github", "private")]["loops"]
+    reduction = rows[("github", "reduction")]["loops"]
+    simd = rows[("github", "simd")]["loops"]
+    target = rows[("github", "target")]["loops"]
+    non_parallel = rows[("github", "-")]["loops"]
+    assert private > reduction > target
+    assert private > simd > target
+    assert non_parallel > private
+
+    # LOC shape: simd/target are short; private and non-parallel long.
+    assert rows[("github", "simd")]["avg_loc"] < rows[("github", "private")]["avg_loc"]
+    assert rows[("github", "target")]["avg_loc"] < rows[("github", "-")]["avg_loc"]
+
+    # Synthetic loops are much larger than crawled ones (paper: ~30 vs ~7).
+    synth_parallel = [
+        r for r in result.rows
+        if r["source"] == "synthetic" and r["type"] == "parallel"
+    ]
+    assert synth_parallel
+    assert all(r["avg_loc"] > 8 for r in synth_parallel)

@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 2 (representation comparison).
+
+The paper's headline result: aug-AST (Graph2Par) beats the token
+transformer (PragFormer), which beats the vanilla AST, on pragma
+existence prediction.
+"""
+
+from conftest import run_once
+
+from repro.eval import table2
+
+
+def test_table2_representation_ordering(benchmark, config):
+    result = run_once(benchmark, table2.run, config)
+    print("\n" + result.render())
+
+    by_approach = {r["approach"]: r for r in result.rows}
+    assert set(by_approach) == {"AST", "PragFormer", "Graph2Par"}
+
+    aug = by_approach["Graph2Par"]
+    tokens = by_approach["PragFormer"]
+    vanilla = by_approach["AST"]
+
+    # All models beat chance decisively on a ~60/40 task.
+    for row in result.rows:
+        assert row["accuracy"] > 0.6, row
+
+    # Headline shape: Graph2Par is competitive with the best
+    # representation.  At the paper's data scale the aug-AST wins by
+    # clear margins (85/80/74); at this reduced scale single-run seed
+    # variance compresses the gaps (documented in EXPERIMENTS.md), so
+    # the bench asserts a tolerance band rather than a strict ordering.
+    best = max(tokens["accuracy"], vanilla["accuracy"])
+    assert aug["accuracy"] >= best - 0.05, (
+        f"Graph2Par {aug['accuracy']} fell behind the best baseline {best}"
+    )
+    assert aug["f1"] >= max(tokens["f1"], vanilla["f1"]) - 0.05
+
+    # Graph2Par must be decisively strong in absolute terms.
+    assert aug["accuracy"] > 0.75
+    assert aug["f1"] > 0.75

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: from a C loop to a parallelism prediction in ~40 lines.
+
+Pipeline demonstrated:
+1. parse a loop with the C frontend,
+2. build its augmented heterogeneous AST (AST + CFG + lexical edges),
+3. train a small Graph2Par (HGT) on a handful of labelled loops,
+4. predict whether new loops are parallelizable.
+"""
+
+from repro.cfront import parse_loop
+from repro.graphs import build_aug_ast, build_graph_vocab, collate, encode_graph
+from repro.models import Graph2Par, Graph2ParConfig
+from repro.nn import Adam, functional as F
+
+TRAIN_LOOPS = [
+    # (source, parallel?)
+    ("for (i = 0; i < n; i++) a[i] = b[i] * 2;", 1),
+    ("for (i = 0; i < n; i++) s += a[i];", 1),
+    ("for (j = 0; j < m; j++) c[j] = c[j] + d[j];", 1),
+    ("for (k = 0; k < 64; k++) out[k] = in_[k] > 0 ? in_[k] : 0;", 1),
+    ("for (i = 1; i < n; i++) a[i] = a[i-1] + b[i];", 0),
+    ("for (i = 2; i < n; i++) f[i] = f[i-1] + f[i-2];", 0),
+    ("for (i = 0; i < n; i++) { s = s * a[i] + b[i]; c[i] = s; }", 0),
+    ("for (j = 0; j < m; j++) a[j+1] = a[j] * 2;", 0),
+]
+
+TEST_LOOPS = [
+    ("for (i = 0; i < 100; i++) y[i] = x[i] + x[i];", "parallel"),
+    ("for (i = 1; i < 100; i++) y[i] = y[i-1] * 0.5;", "sequential"),
+]
+
+
+def main() -> None:
+    # 1-2. Parse and build representations.
+    graphs = [build_aug_ast(parse_loop(src)) for src, _ in TRAIN_LOOPS]
+    first = graphs[0]
+    print(f"aug-AST of loop 0: {first.num_nodes} nodes, "
+          f"{first.num_edges} edges, types={sorted(first.type_set())[:5]}...")
+
+    # 3. Encode and train.
+    vocab = build_graph_vocab(graphs)
+    data = [
+        encode_graph(g, vocab, label=y)
+        for g, (_, y) in zip(graphs, TRAIN_LOOPS)
+    ]
+    model = Graph2Par(vocab, Graph2ParConfig(dim=32, heads=4, layers=2,
+                                             dropout=0.0))
+    opt = Adam(model.parameters(), lr=3e-3)
+    batch = collate(data)
+    for step in range(60):
+        opt.zero_grad()
+        loss = F.cross_entropy(model(batch), batch.labels)
+        loss.backward()
+        opt.step()
+    print(f"final train loss: {loss.item():.4f}")
+
+    # 4. Predict on unseen loops.
+    model.eval()
+    for src, expected in TEST_LOOPS:
+        graph = build_aug_ast(parse_loop(src))
+        enc = encode_graph(graph, vocab)
+        pred = F.predict_classes(model(collate([enc])))[0]
+        verdict = "parallel" if pred == 1 else "sequential"
+        print(f"{verdict:10s} (expected {expected:10s}) <- {src}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation``) works with plain setuptools through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Graph2Par reproduction (MLSys 2023).
+
+A from-scratch reproduction of "Learning to Parallelize with OpenMP by
+Augmented Heterogeneous AST Representation": the OMP_Serial dataset, the
+augmented heterogeneous AST representation, the HGT-based Graph2Par model,
+the PragFormer token baseline, and simulators of the three algorithm-based
+comparator tools (Pluto, autoPar, DiscoPoP).
+
+Subpackages:
+
+- :mod:`repro.cfront`   -- C lexer / parser / AST
+- :mod:`repro.pragma`   -- OpenMP pragma parsing
+- :mod:`repro.cfg`      -- control-flow graphs
+- :mod:`repro.graphs`   -- aug-AST heterogeneous representation
+- :mod:`repro.nn`       -- numpy autodiff + layers
+- :mod:`repro.models`   -- HGT / GNN / PragFormer
+- :mod:`repro.tools`    -- Pluto / autoPar / DiscoPoP simulators
+- :mod:`repro.dataset`  -- OMP_Serial generation and loading
+- :mod:`repro.train`    -- training loop and metrics
+- :mod:`repro.eval`     -- per-table/figure experiment harness
+
+The most common entry points are re-exported lazily at package level so
+that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: name -> (module, attribute) for lazy top-level re-exports.
+_EXPORTS = {
+    "parse_source": ("repro.cfront", "parse_source"),
+    "parse_loop": ("repro.cfront", "parse_loop"),
+    "unparse": ("repro.cfront", "unparse"),
+    "build_aug_ast": ("repro.graphs", "build_aug_ast"),
+    "build_vanilla_ast": ("repro.graphs", "build_vanilla_ast"),
+    "OMPSerial": ("repro.dataset", "OMPSerial"),
+    "generate_omp_serial": ("repro.dataset", "generate_omp_serial"),
+    "Graph2Par": ("repro.models", "Graph2Par"),
+    "PragFormer": ("repro.models", "PragFormer"),
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,27 @@
+"""Control-flow graphs over the C AST.
+
+CFG nodes *are* AST nodes (statements, loop/branch predicates, and call
+expressions), which is what lets :mod:`repro.graphs` merge CFG edges
+straight into the AST graph the way section 5.1.2 of the paper describes.
+"""
+
+from repro.cfg.graph import CFG, CFGEdge, CFGNode, EdgeLabel
+from repro.cfg.builder import build_cfg
+from repro.cfg.analysis import (
+    dominates,
+    immediate_dominators,
+    scalars_read_after,
+    unreachable_nodes,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CFGEdge",
+    "EdgeLabel",
+    "build_cfg",
+    "immediate_dominators",
+    "dominates",
+    "unreachable_nodes",
+    "scalars_read_after",
+]

@@ -1,0 +1,86 @@
+"""C frontend: lexer, parser, AST, unparser.
+
+This package is the stand-in for the paper's Clang-based tooling (see
+DESIGN.md, substitution table).  The AST node kinds intentionally match
+Clang's so the heterogeneous node types of the aug-AST are the same labels
+the paper shows in Figure 3.
+"""
+
+from repro.cfront.errors import FrontendError, LexError, ParseError
+from repro.cfront.lexer import Lexer, LexResult, tokenize
+from repro.cfront.nodes import (
+    ArraySubscriptExpr,
+    BinaryOperator,
+    BreakStmt,
+    CallExpr,
+    CaseStmt,
+    CastExpr,
+    CharLiteral,
+    CompoundStmt,
+    ConditionalOperator,
+    ContinueStmt,
+    Decl,
+    DeclRefExpr,
+    DeclStmt,
+    DefaultStmt,
+    DoStmt,
+    EnumDecl,
+    Expr,
+    ExprStmt,
+    FieldDecl,
+    FloatingLiteral,
+    ForStmt,
+    FunctionDecl,
+    GotoStmt,
+    IfStmt,
+    InitListExpr,
+    IntegerLiteral,
+    LabelStmt,
+    LOOP_KINDS,
+    loops_of,
+    MemberExpr,
+    Node,
+    ParmDecl,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    StringLiteral,
+    StructDecl,
+    SwitchStmt,
+    TranslationUnit,
+    TypedefDecl,
+    TypeSpec,
+    UnaryOperator,
+    VarDecl,
+    WhileStmt,
+)
+from repro.cfront.parser import Parser, parse_loop, parse_source, parse_statements
+from repro.cfront.unparse import loc_of, unparse
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "Lexer",
+    "LexResult",
+    "tokenize",
+    "Parser",
+    "parse_source",
+    "parse_statements",
+    "parse_loop",
+    "unparse",
+    "loc_of",
+    "LOOP_KINDS",
+    "loops_of",
+    # node classes
+    "Node", "Expr", "Stmt", "Decl",
+    "IntegerLiteral", "FloatingLiteral", "CharLiteral", "StringLiteral",
+    "DeclRefExpr", "ArraySubscriptExpr", "CallExpr", "MemberExpr",
+    "UnaryOperator", "BinaryOperator", "ConditionalOperator", "CastExpr",
+    "SizeofExpr", "InitListExpr",
+    "CompoundStmt", "DeclStmt", "ExprStmt", "IfStmt", "ForStmt", "WhileStmt",
+    "DoStmt", "ReturnStmt", "BreakStmt", "ContinueStmt", "GotoStmt",
+    "LabelStmt", "SwitchStmt", "CaseStmt", "DefaultStmt",
+    "VarDecl", "ParmDecl", "FieldDecl", "StructDecl", "EnumDecl",
+    "TypedefDecl", "FunctionDecl", "TranslationUnit", "TypeSpec",
+]

@@ -1,0 +1,27 @@
+"""Diagnostics for the C frontend."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        loc = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{loc}")
+
+
+class LexError(FrontendError):
+    """Raised on malformed input at the character level."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not form a valid C construct.
+
+    The dataset pipeline uses this the way the paper uses Clang's
+    compilability check: sources that raise ``ParseError`` are dropped
+    from OMP_Serial.
+    """

@@ -1,0 +1,90 @@
+"""Token definitions for the C frontend.
+
+The lexer produces a flat list of :class:`Token`.  Token kinds mirror the
+classic C token classes (keyword, identifier, constant, string-literal,
+punctuator) plus a ``PRAGMA`` kind: ``#pragma`` lines are kept as single
+tokens so the parser can attach OpenMP pragmas to the statement that
+follows them, which is how OMP_Serial labelling works.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenKind(enum.Enum):
+    """Classes of C tokens."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT_CONST = "int"
+    FLOAT_CONST = "float"
+    CHAR_CONST = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+#: C99 keywords (plus a few C11 ones seen in the wild).
+KEYWORDS = frozenset(
+    """
+    auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    _Bool _Complex _Imaginary
+    """.split()
+)
+
+#: Multi-character punctuators, longest first so maximal munch works by
+#: scanning this list in order.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+    "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+)
+
+#: Assignment operators; ``=`` handled separately by the parser.
+COMPOUND_ASSIGN_OPS = frozenset(
+    {"+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "<<=", ">>="}
+)
+
+
+@dataclass
+class Token:
+    """A single lexed token.
+
+    Attributes
+    ----------
+    kind:
+        Token class.
+    text:
+        Exact source spelling (for ``PRAGMA`` the full directive line
+        without the leading ``#``).
+    line, col:
+        1-based source position of the first character.
+    index:
+        Position of the token in the token stream.  Leaf AST nodes keep
+        this so lexical (token-neighbour) edges of the aug-AST can be
+        ordered by true source order.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int = 0
+    col: int = 0
+    index: int = field(default=-1, compare=False)
+
+    def is_punct(self, *texts: str) -> bool:
+        """True when this is a punctuator with one of the given spellings."""
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when this is a keyword with one of the given names."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

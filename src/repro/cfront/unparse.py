@@ -1,0 +1,319 @@
+"""AST → C source.
+
+The paper notes that "an AST can be easily converted back to source code";
+this module provides that inverse.  The dataset generator uses it to emit
+loop snippets, and round-trip (parse → unparse → parse) equality is a
+property test on the frontend.
+
+Parenthesisation is reconstructed from operator precedence, so the output
+is semantically identical to the input even though redundant parentheses
+are dropped.
+"""
+
+from __future__ import annotations
+
+from repro.cfront.nodes import (
+    ArraySubscriptExpr,
+    BinaryOperator,
+    BreakStmt,
+    CallExpr,
+    CaseStmt,
+    CastExpr,
+    CharLiteral,
+    CompoundStmt,
+    ConditionalOperator,
+    ContinueStmt,
+    DeclRefExpr,
+    DeclStmt,
+    DefaultStmt,
+    DoStmt,
+    EnumDecl,
+    Expr,
+    ExprStmt,
+    FloatingLiteral,
+    ForStmt,
+    FunctionDecl,
+    GotoStmt,
+    IfStmt,
+    InitListExpr,
+    IntegerLiteral,
+    LabelStmt,
+    MemberExpr,
+    Node,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    StringLiteral,
+    StructDecl,
+    SwitchStmt,
+    TranslationUnit,
+    TypedefDecl,
+    TypeSpec,
+    UnaryOperator,
+    VarDecl,
+    WhileStmt,
+)
+
+#: Precedence levels for the unparser; mirrors the parser's table with
+#: extra entries for assignment (lowest non-comma) and comma.
+_PRECEDENCE = {
+    ",": 0,
+    "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+    "&=": 1, "^=": 1, "|=": 1, "<<=": 1, ">>=": 1,
+    "?:": 2,
+    "||": 3,
+    "&&": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "==": 8, "!=": 8,
+    "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10,
+    "+": 11, "-": 11,
+    "*": 12, "/": 12, "%": 12,
+}
+_UNARY_PREC = 13
+_POSTFIX_PREC = 14
+
+_RIGHT_ASSOC = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "<<=", ">>="}
+)
+
+
+class Unparser:
+    """Stateful pretty-printer; one instance per emission."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self.indent_unit = indent
+        self.lines: list[str] = []
+        self.depth = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(self.indent_unit * self.depth + text)
+
+    def _type_prefix(self, t: TypeSpec) -> str:
+        quals = " ".join(q for q in sorted(t.qualifiers) if q != "typedef")
+        prefix = (quals + " " if quals else "") + t.base
+        return prefix + " " + "*" * t.pointers if t.pointers else prefix
+
+    def _declarator(self, t: TypeSpec, name: str) -> str:
+        dims = "".join(
+            "[" + (self.expr(d) if d is not None else "") + "]"
+            for d in t.array_dims
+        )
+        stars = "*" * t.pointers
+        quals = " ".join(q for q in sorted(t.qualifiers) if q != "typedef")
+        lead = (quals + " " if quals else "") + t.base
+        return f"{lead} {stars}{name}{dims}"
+
+    # -- expressions ------------------------------------------------------------
+
+    def expr(self, e: Expr, parent_prec: int = 0, side: str = "") -> str:
+        """Render an expression, adding parens when precedence requires."""
+        if isinstance(e, IntegerLiteral):
+            return e.text
+        if isinstance(e, FloatingLiteral):
+            return e.text
+        if isinstance(e, CharLiteral):
+            return e.text
+        if isinstance(e, StringLiteral):
+            return e.text
+        if isinstance(e, DeclRefExpr):
+            return e.name
+        if isinstance(e, ArraySubscriptExpr):
+            base = self.expr(e.base, _POSTFIX_PREC, "l")
+            return f"{base}[{self.expr(e.index)}]"
+        if isinstance(e, CallExpr):
+            callee = self.expr(e.callee, _POSTFIX_PREC, "l")
+            args = ", ".join(self.expr(a, 1) for a in e.args)
+            return f"{callee}({args})"
+        if isinstance(e, MemberExpr):
+            base = self.expr(e.base, _POSTFIX_PREC, "l")
+            sep = "->" if e.is_arrow else "."
+            return f"{base}{sep}{e.member}"
+        if isinstance(e, UnaryOperator):
+            inner = self.expr(e.operand, _UNARY_PREC, "r")
+            text = f"{e.op}{inner}" if e.prefix else f"{inner}{e.op}"
+            return f"({text})" if parent_prec > _UNARY_PREC else text
+        if isinstance(e, BinaryOperator):
+            prec = _PRECEDENCE[e.op]
+            right_assoc = e.op in _RIGHT_ASSOC
+            lhs = self.expr(e.lhs, prec + (1 if right_assoc else 0), "l")
+            rhs = self.expr(e.rhs, prec + (0 if right_assoc else 1), "r")
+            sep = f"{e.op} " if e.op == "," else f" {e.op} "
+            text = f"{lhs}{sep}{rhs}"
+            needs_parens = prec < parent_prec or (
+                prec == parent_prec and (side == "r") != right_assoc
+            )
+            return f"({text})" if needs_parens else text
+        if isinstance(e, ConditionalOperator):
+            prec = _PRECEDENCE["?:"]
+            text = (
+                f"{self.expr(e.cond, prec + 1)} ? {self.expr(e.then)}"
+                f" : {self.expr(e.els, prec)}"
+            )
+            return f"({text})" if parent_prec > prec else text
+        if isinstance(e, CastExpr):
+            inner = self.expr(e.operand, _UNARY_PREC, "r")
+            text = f"({self._type_prefix(e.to_type)}){inner}"
+            return f"({text})" if parent_prec > _UNARY_PREC else text
+        if isinstance(e, SizeofExpr):
+            if isinstance(e.arg, TypeSpec):
+                return f"sizeof({self._type_prefix(e.arg)})"
+            return f"sizeof({self.expr(e.arg)})"
+        if isinstance(e, InitListExpr):
+            return "{" + ", ".join(self.expr(i, 1) for i in e.items) + "}"
+        raise TypeError(f"cannot unparse expression {e!r}")
+
+    # -- statements ---------------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        for pragma in s.pragmas:
+            self._emit(f"#{pragma}")
+        if isinstance(s, CompoundStmt):
+            self._emit("{")
+            self.depth += 1
+            for inner in s.stmts:
+                self.stmt(inner)
+            self.depth -= 1
+            self._emit("}")
+        elif isinstance(s, DeclStmt):
+            parts = []
+            for d in s.decls:
+                text = self._declarator(d.var_type, d.name)
+                if d.init is not None:
+                    text += f" = {self.expr(d.init, 1)}"
+                parts.append(text)
+            # Multiple declarators share the specifier only when types
+            # match exactly; emitting one statement per declarator is
+            # always correct and simpler.
+            for part in parts:
+                self._emit(part + ";")
+        elif isinstance(s, ExprStmt):
+            self._emit((self.expr(s.expr) if s.expr is not None else "") + ";")
+        elif isinstance(s, IfStmt):
+            self._emit(f"if ({self.expr(s.cond)})")
+            self._nested(s.then)
+            if s.els is not None:
+                self._emit("else")
+                self._nested(s.els)
+        elif isinstance(s, ForStmt):
+            init = ""
+            if isinstance(s.init, DeclStmt):
+                d = s.init.decls[0]
+                init = self._declarator(d.var_type, d.name)
+                if d.init is not None:
+                    init += f" = {self.expr(d.init, 1)}"
+                for extra in s.init.decls[1:]:
+                    init += f", {extra.name}"
+                    if extra.init is not None:
+                        init += f" = {self.expr(extra.init, 1)}"
+            elif isinstance(s.init, ExprStmt) and s.init.expr is not None:
+                init = self.expr(s.init.expr)
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            inc = self.expr(s.inc) if s.inc is not None else ""
+            self._emit(f"for ({init}; {cond}; {inc})")
+            self._nested(s.body)
+        elif isinstance(s, WhileStmt):
+            self._emit(f"while ({self.expr(s.cond)})")
+            self._nested(s.body)
+        elif isinstance(s, DoStmt):
+            self._emit("do")
+            self._nested(s.body)
+            self._emit(f"while ({self.expr(s.cond)});")
+        elif isinstance(s, ReturnStmt):
+            if s.value is not None:
+                self._emit(f"return {self.expr(s.value)};")
+            else:
+                self._emit("return;")
+        elif isinstance(s, BreakStmt):
+            self._emit("break;")
+        elif isinstance(s, ContinueStmt):
+            self._emit("continue;")
+        elif isinstance(s, GotoStmt):
+            self._emit(f"goto {s.label};")
+        elif isinstance(s, LabelStmt):
+            self._emit(f"{s.name}:")
+            self.stmt(s.stmt)
+        elif isinstance(s, SwitchStmt):
+            self._emit(f"switch ({self.expr(s.cond)})")
+            self._nested(s.body)
+        elif isinstance(s, CaseStmt):
+            self._emit(f"case {self.expr(s.value)}:")
+            if s.stmt is not None:
+                self.depth += 1
+                self.stmt(s.stmt)
+                self.depth -= 1
+        elif isinstance(s, DefaultStmt):
+            self._emit("default:")
+            if s.stmt is not None:
+                self.depth += 1
+                self.stmt(s.stmt)
+                self.depth -= 1
+        else:
+            raise TypeError(f"cannot unparse statement {s!r}")
+
+    def _nested(self, s: Stmt) -> None:
+        if isinstance(s, CompoundStmt):
+            self.stmt(s)
+        else:
+            self.depth += 1
+            self.stmt(s)
+            self.depth -= 1
+
+    # -- declarations ------------------------------------------------------------
+
+    def decl(self, d: Node) -> None:
+        if isinstance(d, FunctionDecl):
+            params = ", ".join(
+                self._declarator(p.var_type, p.name).strip() for p in d.params
+            )
+            if d.is_variadic:
+                params += ", ..." if params else "..."
+            ret = self._type_prefix(d.ret_type)
+            if d.body is None:
+                self._emit(f"{ret} {d.name}({params or 'void'});")
+            else:
+                self._emit(f"{ret} {d.name}({params or 'void'})")
+                self.stmt(d.body)
+        elif isinstance(d, VarDecl):
+            text = self._declarator(d.var_type, d.name)
+            if d.init is not None:
+                text += f" = {self.expr(d.init, 1)}"
+            self._emit(text + ";")
+        elif isinstance(d, StructDecl):
+            kw = "union" if d.is_union else "struct"
+            self._emit(f"{kw} {d.name} {{")
+            self.depth += 1
+            for f in d.fields_:
+                self._emit(self._declarator(f.var_type, f.name) + ";")
+            self.depth -= 1
+            self._emit("};")
+        elif isinstance(d, EnumDecl):
+            self._emit(f"enum {d.name} {{ {', '.join(d.enumerators)} }};")
+        elif isinstance(d, TypedefDecl):
+            self._emit(f"typedef {self._declarator(d.aliased, d.name)};")
+        else:
+            raise TypeError(f"cannot unparse declaration {d!r}")
+
+
+def unparse(node: Node) -> str:
+    """Render any AST node back to C source text."""
+    up = Unparser()
+    if isinstance(node, TranslationUnit):
+        for d in node.decls:
+            up.decl(d)
+    elif isinstance(node, Stmt):
+        up.stmt(node)
+    elif isinstance(node, Expr):
+        return up.expr(node)
+    else:
+        up.decl(node)
+    return "\n".join(up.lines)
+
+
+def loc_of(node: Node) -> int:
+    """Lines of code of a node when unparsed (the paper's Avg. LOC metric)."""
+    return len([ln for ln in unparse(node).splitlines() if ln.strip()])

@@ -1,0 +1,108 @@
+"""Command-line entry points.
+
+``repro-dataset``  generate OMP_Serial and write it as jsonl (+ stats)
+``repro-train``    train Graph2Par / PragFormer / the GCN ablation
+``repro-eval``     regenerate the paper's tables and figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def dataset_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dataset",
+        description="Generate the OMP_Serial dataset.",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's Table-1 counts (1.0 = 32k loops)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="omp_serial.jsonl")
+    parser.add_argument("--no-synthetic", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.dataset import DatasetConfig, generate_omp_serial
+    from repro.eval.result import render_table
+
+    dataset = generate_omp_serial(DatasetConfig(
+        scale=args.scale, seed=args.seed,
+        include_synthetic=not args.no_synthetic,
+    ))
+    dataset.save(args.out)
+    print(f"wrote {len(dataset)} loops to {args.out}")
+    print(render_table(dataset.stats()))
+    return 0
+
+
+def train_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description="Train a model on OMP_Serial.",
+    )
+    parser.add_argument("--model", choices=["graph2par", "hgt-ast",
+                                            "pragformer", "gcn"],
+                        default="graph2par")
+    parser.add_argument("--task", choices=["parallel", "private", "reduction",
+                                           "simd", "target"],
+                        default="parallel")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--dim", type=int, default=48)
+    parser.add_argument("--out", default=None,
+                        help="npz path for the trained weights")
+    args = parser.parse_args(argv)
+
+    from repro.eval.config import ExperimentConfig
+    from repro.eval.context import ExperimentContext
+    from repro.nn import save_state
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed,
+                              epochs=args.epochs, dim=args.dim)
+    ctx = ExperimentContext(config)
+    if args.model == "graph2par":
+        trained = ctx.graph_model(representation="aug", task=args.task)
+    elif args.model == "hgt-ast":
+        trained = ctx.graph_model(representation="vanilla", task=args.task)
+    elif args.model == "gcn":
+        trained = ctx.gcn_model(task=args.task)
+    else:
+        trained = ctx.token_model(task=args.task)
+    _, test = ctx.split
+    metrics = trained.evaluate_samples(test)
+    print(f"{args.model} on task={args.task}: {metrics}")
+    if args.out:
+        save_state(trained.trainer.model, args.out)
+        print(f"weights saved to {args.out}")
+    return 0
+
+
+def eval_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="subset of experiments (default: all); e.g. "
+                             "table2 figure2")
+    parser.add_argument("--profile", choices=["fast", "standard", "paper"],
+                        default="fast")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the profile's dataset scale")
+    args = parser.parse_args(argv)
+
+    from repro.eval import run_all
+    from repro.eval.config import ExperimentConfig
+
+    config = getattr(ExperimentConfig, args.profile)()
+    if args.scale is not None:
+        config = config.with_(scale=args.scale)
+    only = tuple(args.experiments) or None
+    run_all(config, only=only, verbose=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(eval_main())

@@ -1,0 +1,39 @@
+"""OMP_Serial dataset: generation, extraction, statistics.
+
+The paper builds OMP_Serial from (a) ~6000 GitHub repositories crawled
+for C files using OpenMP and (b) Jinja2-generated synthetic programs.
+Offline, (a) is replaced by a calibrated stochastic corpus generator
+(:mod:`repro.dataset.corpus`) whose category proportions, function-call /
+nested-loop rates and LOC distributions match Table 1; (b) is reproduced
+with the same mechanism the paper used (:mod:`repro.dataset.synth`).
+
+Labels always come from pragma presence on re-parsed source — the same
+rule the paper applies (section 4.2) — never from generator bookkeeping,
+so the extraction pipeline is exercised end to end.
+"""
+
+from repro.dataset.sample import LoopSample, load_jsonl, save_jsonl
+from repro.dataset.recipes import LoopRecipe, RecipeGenerator, CATEGORY_PROFILES
+from repro.dataset.extract import extract_loops_from_source
+from repro.dataset.synth import SyntheticGenerator
+from repro.dataset.corpus import CorpusGenerator
+from repro.dataset.omp_serial import (
+    DatasetConfig,
+    OMPSerial,
+    generate_omp_serial,
+)
+
+__all__ = [
+    "LoopSample",
+    "save_jsonl",
+    "load_jsonl",
+    "LoopRecipe",
+    "RecipeGenerator",
+    "CATEGORY_PROFILES",
+    "extract_loops_from_source",
+    "SyntheticGenerator",
+    "CorpusGenerator",
+    "OMPSerial",
+    "DatasetConfig",
+    "generate_omp_serial",
+]

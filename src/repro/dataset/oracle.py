@@ -1,0 +1,28 @@
+"""Ground-truth oracle for generated loops.
+
+The paper cross-checks OMP_Serial labels with DiscoPoP and manual
+inspection (sections 4.1/4.3).  This oracle plays that role for the
+generated corpus: an idealised dependence analysis that — unlike the
+simulated tools — knows which library calls are pure and accepts every
+reduction/privatization idiom the generator emits.  Tests assert that
+pragma-derived labels agree with it.
+"""
+
+from __future__ import annotations
+
+from repro.cfront.nodes import CallExpr, Stmt
+from repro.tools.deps import analyze_loop
+from repro.tools.interp import MATH_FUNCTIONS
+
+#: Call targets the oracle may treat as pure.
+PURE_FUNCTIONS = frozenset(MATH_FUNCTIONS)
+
+
+def oracle_parallel(loop: Stmt) -> bool:
+    """Idealised parallelisability verdict for a generated loop."""
+    deps = analyze_loop(loop, conditional_reductions=True)
+    if deps.canonical is None:
+        return False
+    call_names = {c.name for c in loop.find_all(CallExpr)}
+    all_pure = call_names <= PURE_FUNCTIONS
+    return deps.is_doall(allow_reductions=True, assume_calls_pure=all_pure)

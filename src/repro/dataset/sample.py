@@ -1,0 +1,74 @@
+"""Dataset sample type and jsonl (de)serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.cfront import parse_loop
+from repro.cfront.nodes import Stmt
+
+
+@dataclass
+class LoopSample:
+    """One labelled loop of OMP_Serial.
+
+    ``source`` is the loop snippet *without* its pragma line;
+    ``pragma`` the raw OpenMP pragma text when present.  ``parallel`` and
+    ``category`` follow the paper's labelling rule (pragma presence).
+    ``file_meta`` carries whole-file attributes used by the tools' §2
+    coverage gates.
+    """
+
+    source: str
+    parallel: bool
+    category: str | None = None      # reduction/private/simd/target/parallel
+    pragma: str | None = None
+    origin: str = "github"           # "github" | "synthetic"
+    has_call: bool = False
+    nested: bool = False
+    loc: int = 0
+    file_id: int = -1
+    file_meta: dict = field(default_factory=dict)
+    #: array names that are pointer parameters of the enclosing function
+    #: (static tools must assume they may alias)
+    pointer_arrays: list[str] = field(default_factory=list)
+
+    _ast_cache: Stmt | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def label(self) -> int:
+        return int(self.parallel)
+
+    def ast(self) -> Stmt:
+        """Parse (and cache) the loop statement."""
+        if self._ast_cache is None:
+            self._ast_cache = parse_loop(self.source)
+        return self._ast_cache
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d.pop("_ast_cache", None)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LoopSample":
+        d = {k: v for k, v in d.items() if k != "_ast_cache"}
+        return cls(**d)
+
+
+def save_jsonl(samples: list[LoopSample], path: str | Path) -> None:
+    with open(path, "w") as fh:
+        for s in samples:
+            fh.write(json.dumps(s.to_dict()) + "\n")
+
+
+def load_jsonl(path: str | Path) -> list[LoopSample]:
+    out: list[LoopSample] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(LoopSample.from_dict(json.loads(line)))
+    return out

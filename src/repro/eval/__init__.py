@@ -1,0 +1,51 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment is a function ``run(config) -> ExperimentResult`` whose
+rows mirror the paper's table; ``paper_reference`` embeds the published
+numbers so benches and EXPERIMENTS.md can print paper-vs-measured side
+by side.  :class:`ExperimentContext` caches the generated dataset, tool
+verdicts and trained models per configuration so the full suite reuses
+work.
+"""
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import ExperimentContext, get_context
+from repro.eval.result import ExperimentResult, render_table
+from repro.eval import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    figure2,
+    coverage,
+    overhead,
+    casestudy,
+    ablation,
+    generation,
+    generalization,
+    breakdown,
+)
+from repro.eval.runner import run_all
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "get_context",
+    "ExperimentResult",
+    "render_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure2",
+    "coverage",
+    "overhead",
+    "casestudy",
+    "ablation",
+    "generation",
+    "generalization",
+    "breakdown",
+    "run_all",
+]

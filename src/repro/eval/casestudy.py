@@ -1,0 +1,136 @@
+"""§6.6 case study: the paper's listings and tools-miss-all loops.
+
+Two parts:
+
+1. the eight motivating listings — run all three tools on each, record
+   who misses what, and compare against what the paper reports;
+2. over the test split, count parallel loops missed by *all three* tools
+   but detected by Graph2Par (the paper finds 48 such loops).
+"""
+
+from __future__ import annotations
+
+from repro.cfront import parse_loop
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import get_context
+from repro.eval.result import ExperimentResult
+from repro.tools import make_tool
+
+#: The paper's listings (1–8).  ``paper_missed_by`` is who the paper says
+#: fails on it; all eight are genuinely parallel.
+LISTINGS = {
+    "listing1": (
+        "for (i = 0; i < 30000000; i++)\n"
+        "    error = error + fabs(a[i] - a[i+1]);",
+        {"pluto", "autopar", "discopop"},
+    ),
+    "listing2": (
+        "for (int i = 0; i < num_pixels; i++) {\n"
+        "    fitness += (abs(objetivo[i].r - individuo->imagen[i].r) +\n"
+        "                abs(objetivo[i].g - individuo->imagen[i].g)) +\n"
+        "                abs(objetivo[i].b - individuo->imagen[i].b);\n"
+        "}",
+        {"pluto"},
+    ),
+    "listing3": (
+        "for (int i = 0; i < size; i++) {\n"
+        "    vector[i] = square(vector[i]);\n"
+        "}",
+        {"autopar"},
+    ),
+    "listing4": (
+        "for (int i = 0; i < N; i += step) {\n"
+        "    v += 2;\n"
+        "    v = v + step;\n"
+        "}",
+        {"discopop"},
+    ),
+    "listing5": (
+        "for (j = 0; j < 4; j++)\n"
+        "    for (i = 0; i < 5; i++)\n"
+        "        for (k = 0; k < 6; k += 2)\n"
+        "            l++;",
+        {"discopop", "pluto"},
+    ),
+    "listing6": (
+        "for (i = 0; i < 1000; i++) {\n"
+        "    a[i] = i * 2;\n"
+        "    sum += i;\n"
+        "}",
+        {"pluto", "autopar", "discopop"},
+    ),
+    "listing7": (
+        "for (j = 0; j < 1000; j++) {\n"
+        "    sum += a[i][j] * v[j];\n"
+        "}",
+        {"pluto", "autopar", "discopop"},
+    ),
+    "listing8": (
+        "for (i = 0; i < 12; i++)\n"
+        "    for (j = 0; j < 12; j++)\n"
+        "        for (k = 0; k < 12; k++) {\n"
+        "            tmp1 = 6.0 / m;\n"
+        "            a[i][j][k] = tmp1 + 4;\n"
+        "        }",
+        {"pluto", "autopar", "discopop"},
+    ),
+}
+
+TOOLS = ("pluto", "autopar", "discopop")
+
+
+def run_listings() -> list[dict]:
+    """Tool verdicts for the eight paper listings."""
+    rows = []
+    tools = {name: make_tool(name) for name in TOOLS}
+    for name, (source, paper_missed) in LISTINGS.items():
+        loop = parse_loop(source)
+        missed = {
+            t for t, tool in tools.items()
+            if not tool.analyze_loop(loop).parallel
+        }
+        rows.append({
+            "listing": name,
+            "missed_by": ",".join(sorted(missed)) or "-",
+            "paper_missed_by": ",".join(sorted(paper_missed)),
+            "matches_paper": paper_missed <= missed,
+        })
+    return rows
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    ctx = get_context(config)
+    rows = run_listings()
+
+    # Part 2: loops missed by every tool but found by Graph2Par.
+    _, test = ctx.split
+    aug = ctx.graph_model(representation="aug", task="parallel")
+    parallel_test = [s for s in test if s.parallel]
+    if parallel_test:
+        preds = aug.predict_samples(parallel_test)
+        verdict_maps = {t: ctx.tool_verdict_map(t) for t in TOOLS}
+        missed_by_all = [
+            s for s in parallel_test
+            if all(not verdict_maps[t][id(s)].parallel for t in TOOLS)
+        ]
+        found = sum(
+            int(p) for s, p in zip(parallel_test, preds)
+            if s in missed_by_all
+        )
+        rows.append({
+            "listing": "test-set loops missed by all 3 tools",
+            "missed_by": len(missed_by_all),
+            "paper_missed_by": "48 found by Graph2Par",
+            "matches_paper": f"Graph2Par recovers {found}",
+        })
+    return ExperimentResult(
+        name="Case study: paper listings + tools-miss-all loops",
+        rows=rows,
+        paper_reference=[],
+        notes=(
+            "Listings 6/7 deviate: the paper's crawled context (pointer "
+            "arrays, post-loop uses) defeats real autoPar/DiscoPoP there, "
+            "while our isolated versions are within their simulated power. "
+            "All other listings reproduce the reported misses."
+        ),
+    )

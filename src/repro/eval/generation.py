@@ -1,0 +1,63 @@
+"""Extension experiment: complete pragma generation (paper §8).
+
+The paper's stated future work — going from clause *prediction* to
+emitting a complete pragma.  We measure, over annotated test loops,
+how often the composed pragma agrees with the developer's one at the
+directive level and on the reduction variable set.
+"""
+
+from __future__ import annotations
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import get_context
+from repro.eval.result import ExperimentResult
+from repro.suggest import PragmaSuggester, agreement
+
+
+def build_suggester(ctx) -> PragmaSuggester:
+    return PragmaSuggester(
+        ctx.graph_model(representation="aug", task="parallel"),
+        {
+            clause: ctx.graph_model(representation="aug", task=clause)
+            for clause in ("reduction", "private", "simd", "target")
+        },
+    )
+
+
+def run(config: ExperimentConfig | None = None,
+        max_loops: int = 150) -> ExperimentResult:
+    ctx = get_context(config)
+    _, test = ctx.split
+    annotated = [s for s in test if s.parallel and s.pragma][:max_loops]
+    suggester = build_suggester(ctx)
+
+    n = len(annotated)
+    suggested_parallel = 0
+    directive_ok = 0
+    reduction_ok = 0
+    for sample in annotated:
+        suggestion = suggester.suggest_loop(sample.source)
+        if not suggestion.parallel:
+            continue
+        suggested_parallel += 1
+        scores = agreement(suggestion.pragma, "#" + sample.pragma
+                           if not sample.pragma.startswith("#")
+                           else sample.pragma)
+        directive_ok += int(scores["directive_match"])
+        reduction_ok += int(scores["reduction_match"])
+
+    rows = [{
+        "loops": n,
+        "suggested_parallel": suggested_parallel,
+        "directive_agreement": round(directive_ok / n, 4) if n else 0.0,
+        "reduction_var_agreement": round(reduction_ok / n, 4) if n else 0.0,
+    }]
+    return ExperimentResult(
+        name="Extension: complete pragma generation vs developer pragmas",
+        rows=rows,
+        paper_reference=[],
+        notes=(
+            "No paper numbers exist (this is their future work); the bench "
+            "records how far prediction + analysis composition gets."
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Experiment result container and text-table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows (list of dicts) plus provenance for one table/figure."""
+
+    name: str
+    rows: list[dict] = field(default_factory=list)
+    paper_reference: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [f"== {self.name} =="]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        if self.paper_reference:
+            parts.append("-- paper reported --")
+            parts.append(render_table(self.paper_reference))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, key: str) -> list:
+        return [row.get(key) for row in self.rows]
+
+    def row_for(self, **match) -> dict | None:
+        """First row whose items include all of ``match``."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        return None
+
+
+def render_table(rows: list[dict]) -> str:
+    """Fixed-width text table over a list of uniform dicts."""
+    if not rows:
+        return "(empty)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append(" | ".join(
+            str(row.get(c, "")).ljust(widths[c]) for c in columns
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Table 4: Graph2Par vs each tool on the tool's processable subset.
+
+Subset_X = test-set loops the tool X can process.  Accounting follows
+the paper exactly:
+
+- for the *tool*, only parallel-labelled loops enter its confusion
+  counts (a conservative tool is never credited with true negatives, so
+  TN = FP = 0 and accuracy == recall — that is how PLUTO shows 100 %
+  precision at 39.5 % accuracy);
+- Graph2Par is scored on the whole subset, positives and negatives.
+"""
+
+from __future__ import annotations
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import get_context
+from repro.eval.result import ExperimentResult
+from repro.train.metrics import BinaryMetrics, confusion_counts
+
+PAPER_TABLE4 = [
+    {"subset": "PLUTO", "approach": "PLUTO", "TP": 1593, "TN": 0, "FP": 0,
+     "FN": 2439, "precision": 1.0, "recall": 0.3951, "f1": 0.5664,
+     "accuracy": 0.3951},
+    {"subset": "PLUTO", "approach": "Graph2Par", "TP": 2860, "TN": 617,
+     "FP": 356, "FN": 199, "precision": 0.8893, "recall": 0.9349,
+     "f1": 0.9116, "accuracy": 0.8624},
+    {"subset": "autoPar", "approach": "autoPar", "TP": 345, "TN": 952,
+     "FP": 0, "FN": 2059, "precision": 1.0, "recall": 0.1435, "f1": 0.2510,
+     "accuracy": 0.3865},
+    {"subset": "autoPar", "approach": "Graph2Par", "TP": 1800, "TN": 897,
+     "FP": 187, "FN": 472, "precision": 0.9059, "recall": 0.7923,
+     "f1": 0.8453, "accuracy": 0.8036},
+    {"subset": "DiscoPoP", "approach": "DiscoPoP", "TP": 541, "TN": 240,
+     "FP": 0, "FN": 445, "precision": 1.0, "recall": 0.5487, "f1": 0.7086,
+     "accuracy": 0.6370},
+    {"subset": "DiscoPoP", "approach": "Graph2Par", "TP": 635, "TN": 366,
+     "FP": 64, "FN": 161, "precision": 0.9084, "recall": 0.7977,
+     "f1": 0.8495, "accuracy": 0.8165},
+]
+
+
+def _tool_confusion(verdicts, samples) -> BinaryMetrics:
+    """Tool confusion with the paper's accounting (positives only)."""
+    tp = sum(1 for v, s in zip(verdicts, samples) if s.parallel and v.parallel)
+    fn = sum(1 for v, s in zip(verdicts, samples) if s.parallel and not v.parallel)
+    # Sound tools never claim parallelism falsely; still, count any FP so
+    # a regression would be visible rather than hidden.
+    fp = sum(1 for v, s in zip(verdicts, samples) if not s.parallel and v.parallel)
+    return BinaryMetrics(tp=tp, tn=0, fp=fp, fn=fn)
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    ctx = get_context(config)
+    _, test = ctx.split
+    aug = ctx.graph_model(representation="aug", task="parallel")
+    rows = []
+    for tool_name, label in (("pluto", "PLUTO"), ("autopar", "autoPar"),
+                             ("discopop", "DiscoPoP")):
+        verdict_map = ctx.tool_verdict_map(tool_name)
+        subset = [s for s in test if id(s) in verdict_map
+                  and verdict_map[id(s)].processable]
+        if not subset:
+            continue
+        verdicts = [verdict_map[id(s)] for s in subset]
+        tool_metrics = _tool_confusion(verdicts, subset)
+        rows.append({"subset": label, "approach": label,
+                     **tool_metrics.as_row()})
+        preds = aug.predict_samples(subset)
+        labels = [s.label for s in subset]
+        model_metrics = confusion_counts(preds, labels)
+        rows.append({"subset": label, "approach": "Graph2Par",
+                     **model_metrics.as_row()})
+    return ExperimentResult(
+        name="Table 4: tool-subset comparison (parallelism detection)",
+        rows=rows,
+        paper_reference=PAPER_TABLE4,
+        notes=(
+            "Expected shape: tools show precision 1.0 with low recall; "
+            "Graph2Par beats each tool's accuracy/F1 on its own subset. "
+            "The paper retrains per-subset with the subset excluded; at "
+            "repro scale we score the jointly-trained model on each subset."
+        ),
+    )

@@ -1,0 +1,27 @@
+"""Heterogeneous augmented-AST code representation (paper section 5.1).
+
+Pipeline: C loop AST → :class:`HetGraph` (typed nodes + typed edges:
+AST / CFG / lexical) → :class:`EncodedGraph` (integer feature arrays the
+HGT consumes).
+"""
+
+from repro.graphs.hetgraph import EdgeType, HetGraph, NODE_POSITIONS, RELATIONS
+from repro.graphs.augast import build_aug_ast, build_vanilla_ast
+from repro.graphs.vocab import Vocab, GraphVocab, build_graph_vocab
+from repro.graphs.encode import EncodedGraph, GraphBatch, encode_graph, collate
+
+__all__ = [
+    "HetGraph",
+    "EdgeType",
+    "RELATIONS",
+    "NODE_POSITIONS",
+    "build_aug_ast",
+    "build_vanilla_ast",
+    "Vocab",
+    "GraphVocab",
+    "build_graph_vocab",
+    "EncodedGraph",
+    "GraphBatch",
+    "encode_graph",
+    "collate",
+]

@@ -1,0 +1,186 @@
+"""Building the (augmented) heterogeneous AST of a loop.
+
+Section 5.1 of the paper in three steps:
+
+1. *Transforming the AST* — every AST node becomes a typed graph node;
+   identifiers are alpha-renamed in first-occurrence order (``v0, v1,
+   ...`` for variables, ``f0, f1, ...`` for called functions — the paper's
+   Figure 3 shows exactly this ``v1/v2/f1`` normalisation), literals are
+   bucketed, and each node carries its ordered-child position.
+2. *Merging the CFG* — control-flow edges between the AST nodes that are
+   shared by the AST and the CFG (statements, predicates, calls) are
+   added as a distinct edge type.
+3. *Texture token relations* — consecutive AST leaves in token order are
+   linked with lexical edges so long-distance token proximity survives
+   the tree structure (Zügner et al. 2021 motivates this).
+
+``build_vanilla_ast`` performs step 1 only and is the paper's "AST" row
+in Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.cfg import build_cfg
+from repro.cfront.nodes import (
+    BinaryOperator,
+    CallExpr,
+    CastExpr,
+    CharLiteral,
+    DeclRefExpr,
+    FloatingLiteral,
+    IntegerLiteral,
+    MemberExpr,
+    Node,
+    ParmDecl,
+    Stmt,
+    StringLiteral,
+    TypeSpec,
+    UnaryOperator,
+    VarDecl,
+)
+from repro.graphs.hetgraph import EdgeType, HetGraph
+
+#: Literal buckets: small constants are semantically meaningful for
+#: parallelisation (strides, bounds); everything else collapses.
+_SMALL_INTS = frozenset(range(0, 9))
+
+
+def _int_bucket(value: int) -> str:
+    if value in _SMALL_INTS:
+        return f"int:{value}"
+    if value < 0:
+        return "int:neg"
+    if value < 256:
+        return "int:medium"
+    return "int:large"
+
+
+def _float_bucket(value: float) -> str:
+    if value == 0.0:
+        return "float:zero"
+    if value == 1.0:
+        return "float:one"
+    return "float:other"
+
+
+class _Renamer:
+    """First-occurrence alpha renaming of identifiers (Figure 3 style)."""
+
+    def __init__(self) -> None:
+        self.vars: dict[str, str] = {}
+        self.funcs: dict[str, str] = {}
+
+    def var(self, name: str) -> str:
+        if name not in self.vars:
+            self.vars[name] = f"v{len(self.vars)}"
+        return self.vars[name]
+
+    def func(self, name: str) -> str:
+        if name not in self.funcs:
+            self.funcs[name] = f"f{len(self.funcs)}"
+        return self.funcs[name]
+
+
+def _node_text(node: Node, renamer: _Renamer, called_names: set[str]) -> str:
+    """The textual attribute μ_A(node) of section 5.1.1."""
+    if isinstance(node, DeclRefExpr):
+        if node.name in called_names:
+            return renamer.func(node.name)
+        return renamer.var(node.name)
+    if isinstance(node, (VarDecl, ParmDecl)):
+        return renamer.var(node.name)
+    if isinstance(node, IntegerLiteral):
+        return _int_bucket(node.value)
+    if isinstance(node, FloatingLiteral):
+        return _float_bucket(node.value)
+    if isinstance(node, CharLiteral):
+        return "char"
+    if isinstance(node, StringLiteral):
+        return "string"
+    if isinstance(node, (BinaryOperator, UnaryOperator)):
+        return node.op
+    if isinstance(node, MemberExpr):
+        return ("->" if node.is_arrow else ".") + node.member
+    if isinstance(node, CastExpr):
+        return node.to_type.base
+    if isinstance(node, TypeSpec):
+        return node.base + "*" * node.pointers
+    return ""
+
+
+def _is_leaf(node: Node) -> bool:
+    return next(node.children(), None) is None
+
+
+def build_vanilla_ast(loop: Stmt, meta: dict | None = None) -> HetGraph:
+    """The plain heterogeneous AST (tree edges only): Table 2's "AST" row."""
+    return _build(loop, with_cfg=False, with_lexical=False, meta=meta)
+
+
+def build_aug_ast(
+    loop: Stmt,
+    with_cfg: bool = True,
+    with_lexical: bool = True,
+    meta: dict | None = None,
+) -> HetGraph:
+    """The heterogeneous augmented AST of a loop (paper section 5.1).
+
+    ``with_cfg`` / ``with_lexical`` exist for the edge-type ablation
+    bench; both default to the full aug-AST.
+    """
+    return _build(loop, with_cfg=with_cfg, with_lexical=with_lexical, meta=meta)
+
+
+def _build(loop: Stmt, with_cfg: bool, with_lexical: bool,
+           meta: dict | None) -> HetGraph:
+    graph = HetGraph(meta=dict(meta or {}))
+    renamer = _Renamer()
+
+    # Functions are renamed into a separate namespace; collect call targets
+    # first so a ``DeclRefExpr`` used as a callee maps to ``f<k>``.
+    called_names = {
+        c.name for c in loop.find_all(CallExpr) if c.name
+    }
+
+    node_ids: dict[int, int] = {}  # id(ast node) -> graph node id
+
+    def add(node: Node, position: int) -> int:
+        gid = graph.add_node(
+            node_type=node.kind,
+            text=_node_text(node, renamer, called_names),
+            position=position,
+            is_leaf=_is_leaf(node),
+        )
+        node_ids[id(node)] = gid
+        for child_pos, child in enumerate(node.children()):
+            cid = add(child, child_pos)
+            graph.add_edge(gid, cid, EdgeType.AST, reverse=EdgeType.AST_REV)
+        return gid
+
+    add(loop, 0)
+
+    if with_cfg:
+        cfg = build_cfg(loop)
+        for edge in cfg.edges:
+            src_ast = cfg.nodes[edge.src].ast
+            dst_ast = cfg.nodes[edge.dst].ast
+            if src_ast is None or dst_ast is None:
+                continue  # synthetic entry/exit
+            src_gid = node_ids.get(id(src_ast))
+            dst_gid = node_ids.get(id(dst_ast))
+            if src_gid is None or dst_gid is None or src_gid == dst_gid:
+                continue
+            graph.add_edge(src_gid, dst_gid, EdgeType.CFG, reverse=EdgeType.CFG_REV)
+
+    if with_lexical:
+        leaves = sorted(
+            (
+                (node.tok_i, node_ids[id(node)])
+                for node in loop.walk()
+                if getattr(node, "tok_i", -1) >= 0 and id(node) in node_ids
+            ),
+        )
+        for (_, a), (_, b) in zip(leaves, leaves[1:]):
+            graph.add_edge(a, b, EdgeType.LEX, reverse=EdgeType.LEX_REV)
+
+    return graph

@@ -1,0 +1,112 @@
+"""Vocabularies mapping graph attributes to integer ids."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.graphs.hetgraph import HetGraph
+
+UNK = "<unk>"
+PAD = "<pad>"
+
+
+@dataclass
+class Vocab:
+    """A frozen-able string → id mapping with an UNK fallback."""
+
+    tokens: dict[str, int] = field(default_factory=dict)
+    frozen: bool = False
+
+    def __post_init__(self) -> None:
+        if UNK not in self.tokens:
+            # UNK must be id 0 so models can rely on it.
+            self.tokens = {UNK: 0, **{
+                t: i + 1 for t, i in sorted(self.tokens.items(), key=lambda kv: kv[1])
+                if t != UNK
+            }}
+
+    def add(self, token: str) -> int:
+        if token in self.tokens:
+            return self.tokens[token]
+        if self.frozen:
+            return self.tokens[UNK]
+        idx = len(self.tokens)
+        self.tokens[token] = idx
+        return idx
+
+    def __getitem__(self, token: str) -> int:
+        return self.tokens.get(token, self.tokens[UNK])
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.tokens
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def freeze(self) -> "Vocab":
+        self.frozen = True
+        return self
+
+    def to_dict(self) -> dict:
+        return {"tokens": self.tokens, "frozen": self.frozen}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Vocab":
+        v = cls(tokens=dict(data["tokens"]))
+        v.frozen = bool(data.get("frozen", False))
+        return v
+
+
+@dataclass
+class GraphVocab:
+    """The pair of vocabularies a graph encoder needs.
+
+    ``types`` maps heterogeneous node types (AST kinds) to ids — this is
+    the type system A of the HGT.  ``texts`` maps node text attributes
+    (normalised operands/operators) to ids.
+    """
+
+    types: Vocab = field(default_factory=Vocab)
+    texts: Vocab = field(default_factory=Vocab)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    @property
+    def num_texts(self) -> int:
+        return len(self.texts)
+
+    def freeze(self) -> "GraphVocab":
+        self.types.freeze()
+        self.texts.freeze()
+        return self
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps({
+            "types": self.types.to_dict(),
+            "texts": self.texts.to_dict(),
+        }))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GraphVocab":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            types=Vocab.from_dict(data["types"]),
+            texts=Vocab.from_dict(data["texts"]),
+        )
+
+
+def build_graph_vocab(graphs: Iterable[HetGraph]) -> GraphVocab:
+    """Collect type/text vocabularies over a graph corpus and freeze them."""
+    vocab = GraphVocab()
+    for graph in graphs:
+        for t in graph.node_types:
+            vocab.types.add(t)
+        for t in graph.node_texts:
+            if t:
+                vocab.texts.add(t)
+    return vocab.freeze()

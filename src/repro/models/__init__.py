@@ -1,0 +1,26 @@
+"""Models: Graph2Par (HGT), PragFormer (token transformer), GCN ablation."""
+
+from repro.models.hgt import Graph2Par, Graph2ParConfig, HGTLayer, TypedLinear
+from repro.models.pragformer import (
+    PragFormer,
+    PragFormerConfig,
+    TokenEncoder,
+    tokenize_loop,
+)
+from repro.models.gcn import GCNBaseline, GCNConfig
+from repro.models.rgcn import RGCNBaseline, RGCNConfig
+
+__all__ = [
+    "RGCNBaseline",
+    "RGCNConfig",
+    "Graph2Par",
+    "Graph2ParConfig",
+    "HGTLayer",
+    "TypedLinear",
+    "PragFormer",
+    "PragFormerConfig",
+    "TokenEncoder",
+    "tokenize_loop",
+    "GCNBaseline",
+    "GCNConfig",
+]

@@ -1,0 +1,91 @@
+"""Homogeneous GCN ablation.
+
+Treats the aug-AST as an untyped graph (all relations collapsed, no
+per-type parameters).  This quantifies how much the *heterogeneity* of
+the representation — as opposed to its connectivity — contributes, an
+ablation DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.encode import GraphBatch
+from repro.graphs.hetgraph import NODE_POSITIONS, RELATIONS
+from repro.graphs.vocab import GraphVocab
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, MLP, Module
+from repro.nn.tensor import Tensor, segment_mean, segment_sum
+
+
+@dataclass
+class GCNConfig:
+    dim: int = 64
+    layers: int = 2
+    num_classes: int = 2
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class GCNLayer(Module):
+    """Mean-aggregation graph convolution with residual."""
+
+    def __init__(self, dim: int, dropout: float,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.lin_self = Linear(dim, dim, rng=rng)
+        self.lin_neigh = Linear(dim, dim, rng=rng)
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        n = x.shape[0]
+        if edge_index.size:
+            src, dst = edge_index[0], edge_index[1]
+            msgs = x[src]
+            agg = segment_sum(msgs, dst, n)
+            deg = np.maximum(
+                np.bincount(dst, minlength=n), 1.0
+            ).astype(x.data.dtype).reshape(-1, 1)
+            agg = agg * Tensor(1.0 / deg)
+        else:
+            agg = x * 0.0
+        out = self.lin_self(x) + self.lin_neigh(agg)
+        return self.norm(self.dropout(out.gelu()) + x)
+
+
+class GCNBaseline(Module):
+    """Untyped GCN over the same encoded graphs Graph2Par consumes."""
+
+    def __init__(self, vocab: GraphVocab, config: GCNConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or GCNConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.type_emb = Embedding(vocab.num_types, cfg.dim, rng=rng)
+        self.text_emb = Embedding(vocab.num_texts, cfg.dim, rng=rng)
+        self.pos_emb = Embedding(NODE_POSITIONS, cfg.dim, rng=rng)
+        self.input_norm = LayerNorm(cfg.dim)
+        self.layers = [GCNLayer(cfg.dim, cfg.dropout, rng=rng)
+                       for _ in range(cfg.layers)]
+        self.head = MLP([cfg.dim, cfg.dim, cfg.num_classes], rng=rng)
+
+    @staticmethod
+    def merged_edges(batch: GraphBatch) -> np.ndarray:
+        parts = [batch.edges[rel] for rel in RELATIONS if batch.edges[rel].size]
+        if not parts:
+            return np.zeros((2, 0), dtype=np.int64)
+        return np.concatenate(parts, axis=1)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        x = self.input_norm(
+            self.type_emb(batch.type_ids)
+            + self.text_emb(batch.text_ids)
+            + self.pos_emb(batch.position_ids)
+        )
+        edges = self.merged_edges(batch)
+        for layer in self.layers:
+            x = layer(x, edges)
+        pooled = segment_mean(x, batch.graph_ids, batch.num_graphs)
+        return self.head(pooled)

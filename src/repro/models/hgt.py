@@ -1,0 +1,237 @@
+"""Graph2Par: a Heterogeneous Graph Transformer over aug-AST graphs.
+
+Implements the three HGT mechanisms of Hu et al. 2020 exactly as paper
+section 5.2 uses them:
+
+- **Heterogeneous mutual attention** (eq. 2): per-head dot-product
+  attention between each edge's source (Key) and target (Query), mediated
+  by an edge-type matrix ``W_ATT^r`` and a relation prior μ_r, normalised
+  with a softmax over each target's full in-neighbourhood N(t).
+- **Heterogeneous message passing** (eq. 3): per-head messages
+  ``V(s) · W_MSG^r``.
+- **Target-specific aggregation** (eq. 4/5): attention-weighted message
+  sum followed by a node-type-specific output projection (``A-Linear``),
+  a GELU, and the residual connection.
+
+Per the paper, the temporal machinery of the original HGT (relative
+temporal encoding, inductive timestamp assignment) is disabled: the
+aug-AST is static.
+
+Node-type-specific projections are realised by :class:`TypedLinear`,
+which stores one weight matrix per node type as a single ``(A, D, D')``
+tensor and uses a gather + batched matmul — one BLAS call instead of a
+Python loop over types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.encode import GraphBatch
+from repro.graphs.hetgraph import NODE_POSITIONS, RELATIONS
+from repro.graphs.vocab import GraphVocab
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+)
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+
+
+class TypedLinear(Module):
+    """Per-node-type affine projection.
+
+    ``forward(x, type_ids)`` applies ``x_i @ W[type_ids[i]] + b[type_ids[i]]``
+    for every row.  Implementation groups rows by type and runs one
+    dense matmul per *present* type, then un-permutes — this avoids
+    materialising an ``(N, D, D')`` gathered weight tensor, which
+    profiling showed dominated training time.
+    """
+
+    def __init__(self, num_types: int, in_dim: int, out_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(6.0 / (in_dim + out_dim))
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(num_types, in_dim, out_dim))
+            .astype(np.float32)
+        )
+        self.bias = Parameter(np.zeros((num_types, out_dim), dtype=np.float32))
+
+    def forward(self, x: Tensor, type_ids: np.ndarray) -> Tensor:
+        type_ids = np.asarray(type_ids, dtype=np.int64)
+        order = np.argsort(type_ids, kind="stable")
+        sorted_types = type_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_types)) + 1
+        group_starts = np.concatenate(([0], boundaries))
+        group_ends = np.concatenate((boundaries, [len(sorted_types)]))
+        pieces = []
+        for start, end in zip(group_starts, group_ends):
+            t = int(sorted_types[start])
+            rows = order[start:end]
+            pieces.append(x[rows] @ self.weight[t] + self.bias[t])
+        from repro.nn.tensor import concat
+        out_sorted = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(len(order))
+        return out_sorted[inverse]
+
+
+class HGTLayer(Module):
+    """One HGT layer over a :class:`GraphBatch`."""
+
+    def __init__(self, num_types: int, dim: int, heads: int,
+                 dropout: float = 0.1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if dim % heads:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.heads = heads
+        self.d_head = dim // heads
+        self.k_linear = TypedLinear(num_types, dim, dim, rng=rng)
+        self.q_linear = TypedLinear(num_types, dim, dim, rng=rng)
+        self.v_linear = TypedLinear(num_types, dim, dim, rng=rng)
+        self.a_linear = TypedLinear(num_types, dim, dim, rng=rng)
+        scale = 1.0 / np.sqrt(self.d_head)
+        num_rel = len(RELATIONS)
+        # W_ATT / W_MSG: one (heads, d_head, d_head) stack per relation.
+        self.w_att = Parameter(
+            (np.stack([np.eye(self.d_head)] * heads)[None]
+             .repeat(num_rel, axis=0)
+             + rng.normal(0, 0.02, size=(num_rel, heads, self.d_head, self.d_head))
+             ).astype(np.float32)
+        )
+        self.w_msg = Parameter(
+            (np.stack([np.eye(self.d_head)] * heads)[None]
+             .repeat(num_rel, axis=0)
+             + rng.normal(0, 0.02, size=(num_rel, heads, self.d_head, self.d_head))
+             ).astype(np.float32)
+        )
+        #: relation prior μ_r per head
+        self.rel_prior = Parameter(np.ones((num_rel, heads), dtype=np.float32))
+        self.att_scale = scale
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        n, d = x.shape
+        h, dk = self.heads, self.d_head
+        k = self.k_linear(x, batch.type_ids).reshape(n, h, dk)
+        q = self.q_linear(x, batch.type_ids).reshape(n, h, dk)
+        v = self.v_linear(x, batch.type_ids).reshape(n, h, dk)
+
+        logits_parts: list[Tensor] = []
+        msg_parts: list[Tensor] = []
+        dst_parts: list[np.ndarray] = []
+        for rel_idx, rel in enumerate(RELATIONS):
+            edge_index = batch.edges[rel]
+            if edge_index.size == 0:
+                continue
+            src, dst = edge_index[0], edge_index[1]
+            k_e = k[src]                                  # (E, h, dk)
+            q_e = q[dst]
+            v_e = v[src]
+            w_att = self.w_att[rel_idx]                   # (h, dk, dk)
+            w_msg = self.w_msg[rel_idx]
+            # per-head bilinear attention: (h, E, dk) @ (h, dk, dk) -> dot Q
+            k_t = k_e.swapaxes(0, 1)                      # (h, E, dk)
+            q_t = q_e.swapaxes(0, 1)
+            att = ((k_t @ w_att) * q_t).sum(axis=-1)      # (h, E)
+            att = att.swapaxes(0, 1)                      # (E, h)
+            prior = self.rel_prior[np.array([rel_idx])]   # (1, h)
+            att = att * prior * self.att_scale
+            msg = (v_e.swapaxes(0, 1) @ w_msg).swapaxes(0, 1)  # (E, h, dk)
+            logits_parts.append(att)
+            msg_parts.append(msg)
+            dst_parts.append(dst)
+
+        if not logits_parts:
+            return x
+
+        all_logits = concat(logits_parts, axis=0)          # (E_tot, h)
+        all_msgs = concat(msg_parts, axis=0)               # (E_tot, h, dk)
+        all_dst = np.concatenate(dst_parts)
+
+        # Softmax over each target's full in-neighbourhood (eq. 2).
+        attn = segment_softmax(all_logits, all_dst, n)     # (E_tot, h)
+        weighted = all_msgs * attn.reshape(-1, h, 1)
+        agg = segment_sum(weighted.reshape(-1, d), all_dst, n)  # (N, D)
+
+        # Target-specific aggregation (eq. 5): A-Linear(gelu(agg)) + residual.
+        out = self.a_linear(self.dropout(agg.gelu()), batch.type_ids)
+        return self.norm(out + x)
+
+
+@dataclass
+class Graph2ParConfig:
+    """Hyper-parameters for :class:`Graph2Par`."""
+
+    dim: int = 64
+    heads: int = 4
+    layers: int = 2
+    num_classes: int = 2
+    dropout: float = 0.1
+    readout: str = "mean"     # mean pooling over nodes per graph
+    seed: int = 0
+
+
+class Graph2Par(Module):
+    """aug-AST → HGT → graph readout → classifier.
+
+    The same class also serves the "HGT-AST" baseline (Table 2/3): feed it
+    batches built from :func:`repro.graphs.build_vanilla_ast` instead of
+    the aug-AST.
+    """
+
+    def __init__(self, vocab: GraphVocab, config: Graph2ParConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or Graph2ParConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.vocab = vocab
+        self.type_emb = Embedding(vocab.num_types, cfg.dim, rng=rng)
+        self.text_emb = Embedding(vocab.num_texts, cfg.dim, rng=rng)
+        self.pos_emb = Embedding(NODE_POSITIONS, cfg.dim, rng=rng)
+        self.leaf_emb = Embedding(2, cfg.dim, rng=rng)
+        self.input_norm = LayerNorm(cfg.dim)
+        self.layers = [
+            HGTLayer(vocab.num_types, cfg.dim, cfg.heads, cfg.dropout, rng=rng)
+            for _ in range(cfg.layers)
+        ]
+        self.head = MLP([cfg.dim, cfg.dim, cfg.num_classes], dropout=cfg.dropout,
+                        rng=rng)
+
+    def node_embeddings(self, batch: GraphBatch) -> Tensor:
+        x = (
+            self.type_emb(batch.type_ids)
+            + self.text_emb(batch.text_ids)
+            + self.pos_emb(batch.position_ids)
+            + self.leaf_emb(batch.is_leaf.astype(np.int64))
+        )
+        return self.input_norm(x)
+
+    def encode(self, batch: GraphBatch) -> Tensor:
+        """Per-graph embeddings ``(B, dim)``."""
+        x = self.node_embeddings(batch)
+        for layer in self.layers:
+            x = layer(x, batch)
+        return segment_mean(x, batch.graph_ids, batch.num_graphs)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Class logits ``(B, num_classes)``."""
+        return self.head(self.encode(batch))

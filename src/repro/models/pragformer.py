@@ -1,0 +1,199 @@
+"""PragFormer baseline: token-based transformer for pragma prediction.
+
+Re-implementation of the comparison point of Harel et al. 2022 as the
+paper uses it (Table 2): the loop's *token sequence* feeds a transformer
+encoder and a classification head — no structural information at all.
+Identifiers are alpha-renamed exactly like the aug-AST featurizer so the
+two representations differ only in structure, not in vocabulary handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfront.lexer import Lexer
+from repro.cfront.tokens import TokenKind
+from repro.graphs.vocab import Vocab
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+)
+from repro.nn.tensor import Tensor, softmax
+
+#: Sentinel tokens.
+CLS, PAD = "<cls>", "<pad>"
+
+
+def tokenize_loop(source: str, max_len: int = 128) -> list[str]:
+    """Loop source → normalised token strings (identifiers alpha-renamed).
+
+    Function names (identifiers directly followed by ``(``) rename into
+    the ``f<k>`` namespace, everything else into ``v<k>``; literals are
+    replaced by kind tags.  Mirrors the aug-AST normalisation.
+    """
+    toks = [
+        t for t in Lexer(source).lex().tokens
+        if t.kind not in (TokenKind.EOF, TokenKind.PRAGMA)
+    ]
+    names: dict[str, str] = {}
+    funcs: dict[str, str] = {}
+    out: list[str] = [CLS]
+    for i, tok in enumerate(toks):
+        if len(out) >= max_len:
+            break
+        if tok.kind is TokenKind.IDENT:
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if nxt is not None and nxt.kind is TokenKind.PUNCT and nxt.text == "(":
+                if tok.text not in funcs:
+                    funcs[tok.text] = f"f{len(funcs)}"
+                out.append(funcs[tok.text])
+            else:
+                if tok.text not in names:
+                    names[tok.text] = f"v{len(names)}"
+                out.append(names[tok.text])
+        elif tok.kind is TokenKind.INT_CONST:
+            out.append("<int>" if len(tok.text) > 1 else tok.text)
+        elif tok.kind is TokenKind.FLOAT_CONST:
+            out.append("<float>")
+        elif tok.kind is TokenKind.STRING:
+            out.append("<str>")
+        elif tok.kind is TokenKind.CHAR_CONST:
+            out.append("<char>")
+        else:
+            out.append(tok.text)
+    return out
+
+
+def build_token_vocab(token_seqs: list[list[str]]) -> Vocab:
+    vocab = Vocab()
+    vocab.add(PAD)
+    vocab.add(CLS)
+    for seq in token_seqs:
+        for tok in seq:
+            vocab.add(tok)
+    return vocab.freeze()
+
+
+def encode_tokens(seqs: list[list[str]], vocab: Vocab,
+                  max_len: int = 128) -> tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate to ``(B, L)`` id matrix + boolean padding mask."""
+    batch = len(seqs)
+    length = min(max(len(s) for s in seqs), max_len)
+    ids = np.full((batch, length), vocab[PAD], dtype=np.int64)
+    pad_mask = np.ones((batch, length), dtype=bool)
+    for i, seq in enumerate(seqs):
+        trimmed = seq[:length]
+        ids[i, : len(trimmed)] = [vocab[t] for t in trimmed]
+        pad_mask[i, : len(trimmed)] = False
+    return ids, pad_mask
+
+
+class MultiHeadSelfAttention(Module):
+    def __init__(self, dim: int, heads: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if dim % heads:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.heads = heads
+        self.d_head = dim // heads
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, pad_mask: np.ndarray) -> Tensor:
+        b, l, d = x.shape
+        h, dk = self.heads, self.d_head
+        qkv = self.qkv(x)                                # (B, L, 3D)
+        qkv = qkv.reshape(b, l, 3, h, dk)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)               # (3, B, h, L, dk)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(dk))  # (B,h,L,L)
+        mask = pad_mask[:, None, None, :]                # (B,1,1,L)
+        scores = scores.masked_fill(np.broadcast_to(mask, scores.shape), -1e9)
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ v                                   # (B,h,L,dk)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(b, l, d)
+        return self.out(ctx)
+
+
+class EncoderBlock(Module):
+    """Pre-LN transformer encoder block."""
+
+    def __init__(self, dim: int, heads: int, ffn_mult: int = 4,
+                 dropout: float = 0.1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = MLP([dim, ffn_mult * dim, dim], dropout=dropout, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, pad_mask: np.ndarray) -> Tensor:
+        x = x + self.dropout(self.attn(self.norm1(x), pad_mask))
+        x = x + self.dropout(self.ffn(self.norm2(x)))
+        return x
+
+
+@dataclass
+class PragFormerConfig:
+    dim: int = 64
+    heads: int = 4
+    layers: int = 2
+    num_classes: int = 2
+    max_len: int = 128
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class TokenEncoder(Module):
+    """Token ids → contextual embeddings → CLS vector."""
+
+    def __init__(self, vocab_size: int, config: PragFormerConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.token_emb = Embedding(vocab_size, config.dim, rng=rng)
+        self.pos_emb = Embedding(config.max_len, config.dim, rng=rng)
+        self.blocks = [
+            EncoderBlock(config.dim, config.heads, dropout=config.dropout, rng=rng)
+            for _ in range(config.layers)
+        ]
+        self.final_norm = LayerNorm(config.dim)
+
+    def forward(self, ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
+        b, l = ids.shape
+        positions = np.broadcast_to(np.arange(l, dtype=np.int64), (b, l))
+        x = self.token_emb(ids) + self.pos_emb(positions.copy())
+        for block in self.blocks:
+            x = block(x, pad_mask)
+        x = self.final_norm(x)
+        return x[:, 0, :]  # CLS pooling
+
+
+class PragFormer(Module):
+    """Token transformer classifier (the paper's token-representation SOTA)."""
+
+    def __init__(self, vocab: Vocab, config: PragFormerConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or PragFormerConfig()
+        self.vocab = vocab
+        self.encoder = TokenEncoder(len(vocab), self.config)
+        rng = np.random.default_rng(self.config.seed + 1)
+        self.head = MLP(
+            [self.config.dim, self.config.dim, self.config.num_classes],
+            dropout=self.config.dropout, rng=rng,
+        )
+
+    def forward(self, ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
+        return self.head(self.encoder(ids, pad_mask))
+
+    def forward_sources(self, sources: list[str]) -> Tensor:
+        """Convenience: raw loop sources → logits."""
+        seqs = [tokenize_loop(s, self.config.max_len) for s in sources]
+        ids, mask = encode_tokens(seqs, self.vocab, self.config.max_len)
+        return self(ids, mask)

@@ -1,0 +1,50 @@
+"""Reverse-mode autodiff and neural building blocks on numpy.
+
+The offline environment has no PyTorch, so the HGT, the homogeneous GNN
+ablation and the PragFormer token transformer all run on this substrate:
+a :class:`Tensor` with a dynamic tape, vectorised ops (including the
+segment/scatter primitives graph attention needs), modules, and
+optimizers.  Heavy math stays inside numpy/BLAS per the ml-systems guide
+(vectorise, don't loop).
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn import functional
+from repro.nn.module import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    ParameterDict,
+    ParameterList,
+    Sequential,
+)
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm, cosine_schedule
+from repro.nn.serialize import load_state, save_state
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "ParameterList",
+    "ParameterDict",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "cosine_schedule",
+    "save_state",
+    "load_state",
+]

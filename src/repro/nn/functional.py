@@ -1,0 +1,69 @@
+"""Loss functions and prediction helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import (
+    Tensor,
+    log_softmax,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    concat,
+    stack,
+)
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+    "concat",
+    "stack",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "accuracy",
+    "predict_classes",
+]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  weight: np.ndarray | None = None) -> Tensor:
+    """Mean cross-entropy of ``(B, C)`` logits against integer labels.
+
+    ``weight`` optionally rescales each class (used to balance the
+    parallel / non-parallel class skew of OMP_Serial).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(labels.shape[0])
+    picked = logp[rows, labels]
+    if weight is not None:
+        w = np.asarray(weight, dtype=np.float32)[labels]
+        return -(picked * Tensor(w)).sum() * (1.0 / max(w.sum(), 1e-8))
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Stable BCE on raw logits (targets in {0, 1})."""
+    t = np.asarray(targets, dtype=np.float32)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t
+    x = logits
+    relu_x = x.relu()
+    abs_x = x.abs()
+    log_term = ((-abs_x).exp() + 1.0).log()
+    return (log_term + relu_x - x * Tensor(t)).mean()
+
+
+def predict_classes(logits: Tensor | np.ndarray) -> np.ndarray:
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return data.argmax(axis=-1)
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    preds = predict_classes(logits)
+    labels = np.asarray(labels)
+    return float((preds == labels).mean()) if labels.size else 0.0

@@ -1,0 +1,22 @@
+"""Model (de)serialization as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | Path) -> None:
+    """Write a module's parameters to a compressed npz archive."""
+    state = module.state_dict()
+    np.savez_compressed(str(path), **state)
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``."""
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

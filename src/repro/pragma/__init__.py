@@ -1,0 +1,29 @@
+"""OpenMP pragma parsing and classification.
+
+OMP_Serial labels every loop from the pragma text that precedes it
+(section 4.2 of the paper): loops under ``#pragma omp parallel for`` or
+``#pragma omp for`` are *parallel*, and parallel loops are subdivided into
+``private`` / ``reduction`` / ``simd`` / ``target`` categories by clause
+and directive inspection.  This package turns raw pragma lines into
+structured objects and implements that exact labelling rule.
+"""
+
+from repro.pragma.model import (
+    CATEGORIES,
+    OmpClause,
+    OmpPragma,
+    PragmaError,
+    REDUCTION_OPS,
+)
+from repro.pragma.parser import parse_omp_pragma, pragma_category, loop_label
+
+__all__ = [
+    "OmpClause",
+    "OmpPragma",
+    "PragmaError",
+    "parse_omp_pragma",
+    "pragma_category",
+    "loop_label",
+    "CATEGORIES",
+    "REDUCTION_OPS",
+]

@@ -1,0 +1,99 @@
+"""Structured representation of OpenMP pragmas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Reduction operators OpenMP 4.5 accepts (the paper's synthetic generator
+#: uses only ``+`` and ``*`` because reductions must be associative and
+#: commutative; crawled code may carry any of these).
+REDUCTION_OPS = ("+", "*", "-", "&", "|", "^", "&&", "||", "min", "max")
+
+#: The four pragma categories of Table 1 / Table 5 plus the catch-all for
+#: plain ``parallel for`` without an interesting clause.
+CATEGORIES = ("reduction", "private", "simd", "target", "parallel")
+
+
+class PragmaError(ValueError):
+    """Raised for malformed pragma text."""
+
+
+@dataclass
+class OmpClause:
+    """A single OpenMP clause, e.g. ``reduction(+:sum)`` or ``private(i, j)``.
+
+    ``args`` holds the raw comma-separated arguments; for ``reduction`` the
+    operator is split off into :attr:`reduction_op` and ``args`` holds only
+    the variable list.
+    """
+
+    name: str
+    args: list[str] = field(default_factory=list)
+    reduction_op: str | None = None
+
+    def __str__(self) -> str:
+        if not self.args and self.reduction_op is None:
+            return self.name
+        inner = ", ".join(self.args)
+        if self.reduction_op is not None:
+            inner = f"{self.reduction_op}:{inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class OmpPragma:
+    """A parsed ``#pragma omp`` line.
+
+    ``directives`` is the directive-name sequence (``["parallel", "for"]``,
+    ``["target", "teams", "distribute"]``, ``["simd"]``, ...) and
+    ``clauses`` the following clause list.
+    """
+
+    directives: list[str] = field(default_factory=list)
+    clauses: list[OmpClause] = field(default_factory=list)
+    raw: str = ""
+
+    # -- clause queries ----------------------------------------------------
+
+    def clause(self, name: str) -> OmpClause | None:
+        for c in self.clauses:
+            if c.name == name:
+                return c
+        return None
+
+    def has_clause(self, name: str) -> bool:
+        return self.clause(name) is not None
+
+    def has_directive(self, name: str) -> bool:
+        return name in self.directives
+
+    @property
+    def is_loop_directive(self) -> bool:
+        """True for the worksharing-loop pragmas OMP_Serial labels from.
+
+        The paper's crawl keeps loops under ``#pragma omp parallel for`` or
+        ``#pragma omp for`` (section 4.1); ``simd``/``target`` variants of
+        those count as well since they subsume the loop directive.
+        """
+        return "for" in self.directives or "simd" in self.directives
+
+    @property
+    def reductions(self) -> list[tuple[str, str]]:
+        """``(operator, variable)`` pairs across all reduction clauses."""
+        pairs: list[tuple[str, str]] = []
+        for c in self.clauses:
+            if c.name == "reduction" and c.reduction_op is not None:
+                pairs.extend((c.reduction_op, v) for v in c.args)
+        return pairs
+
+    @property
+    def private_vars(self) -> list[str]:
+        out: list[str] = []
+        for c in self.clauses:
+            if c.name in ("private", "firstprivate", "lastprivate"):
+                out.extend(c.args)
+        return out
+
+    def __str__(self) -> str:
+        parts = ["omp", *self.directives, *map(str, self.clauses)]
+        return "pragma " + " ".join(parts)

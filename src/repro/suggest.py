@@ -1,0 +1,188 @@
+"""Pragma suggestion and generation.
+
+Section 8 of the paper names "generating complete OpenMP pragmas" as the
+future-work step beyond clause-presence prediction.  This module builds
+that: the trained models decide *whether* a loop parallelises and which
+clause families apply, then the static dependence machinery fills in the
+concrete clause arguments (reduction operator + variable, private list),
+yielding a full pragma string.
+
+The two layers deliberately mirror §6.4's deployment story: the learned
+model proposes, the analysis grounds the proposal in variables the loop
+actually uses, and the developer stays in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfront import ParseError
+from repro.cfront.nodes import Stmt
+from repro.dataset.extract import extract_loops_from_source
+from repro.dataset.sample import LoopSample
+from repro.tools.deps import analyze_loop
+
+
+@dataclass
+class Suggestion:
+    """One loop's suggestion."""
+
+    loop_source: str
+    parallel: bool
+    pragma: str | None = None
+    clause_families: list[str] = field(default_factory=list)
+    rationale: str = ""
+
+    def render(self) -> str:
+        if not self.parallel:
+            return f"// keep sequential: {self.rationale}\n{self.loop_source}"
+        return f"{self.pragma}\n{self.loop_source}"
+
+
+class PragmaSuggester:
+    """Composes complete pragmas from model predictions + static analysis.
+
+    ``parallel_model`` and ``clause_models`` are
+    :class:`repro.eval.context.TrainedGraphModel`-like objects exposing
+    ``predict_samples``; any drop-in with that interface works.
+    """
+
+    def __init__(self, parallel_model, clause_models: dict) -> None:
+        self.parallel_model = parallel_model
+        self.clause_models = dict(clause_models)
+
+    # -- single loop ---------------------------------------------------------
+
+    def suggest_loop(self, loop_source: str,
+                     live_out: frozenset[str] = frozenset()) -> Suggestion:
+        """Suggestion for one loop.
+
+        ``live_out`` lists scalars read after the loop in its enclosing
+        function (when known): privatized scalars in that set must be
+        ``lastprivate`` for correctness.
+        """
+        sample = LoopSample(source=loop_source, parallel=False)
+        try:
+            loop = sample.ast()
+        except ParseError as exc:
+            return Suggestion(loop_source=loop_source, parallel=False,
+                              rationale=f"unparseable loop: {exc}")
+        is_parallel = bool(self.parallel_model.predict_samples([sample])[0])
+        if not is_parallel:
+            return Suggestion(
+                loop_source=loop_source, parallel=False,
+                rationale="model predicts loop-carried dependence",
+            )
+        families = [
+            clause for clause, model in self.clause_models.items()
+            if bool(model.predict_samples([sample])[0])
+        ]
+        pragma, rationale = self._compose(loop, families, live_out)
+        return Suggestion(
+            loop_source=loop_source, parallel=True, pragma=pragma,
+            clause_families=families, rationale=rationale,
+        )
+
+    # -- composition -----------------------------------------------------------
+
+    def _compose(self, loop: Stmt, families: list[str],
+                 live_out: frozenset[str] = frozenset()) -> tuple[str, str]:
+        """Ground predicted clause families in the loop's actual variables."""
+        deps = analyze_loop(loop, conditional_reductions=True)
+        parts: list[str] = []
+        notes: list[str] = []
+
+        if "target" in families:
+            parts.append("target teams distribute")
+            notes.append("offload-style kernel")
+        parts.append("parallel for")
+        if "simd" in families and "target" not in families:
+            parts.append("simd")
+            notes.append("vectorisable body")
+
+        clauses: list[str] = []
+        if "reduction" in families or deps.reductions:
+            if deps.reductions:
+                ops: dict[str, list[str]] = {}
+                for r in deps.reductions:
+                    ops.setdefault(r.op, []).append(r.var)
+                for op, variables in sorted(ops.items()):
+                    clauses.append(f"reduction({op}:{', '.join(sorted(variables))})")
+                notes.append(
+                    "reduction variables grounded by dependence analysis"
+                )
+            else:
+                notes.append(
+                    "model suggests a reduction but analysis found no "
+                    "accumulator; emitting plain parallel for"
+                )
+        private_vars = sorted(deps.privatizable - deps.summary.local_decls)
+        if private_vars and ("private" in families or deps.privatizable):
+            escaping = [v for v in private_vars if v in live_out]
+            plain = [v for v in private_vars if v not in live_out]
+            if plain:
+                clauses.append(f"private({', '.join(plain)})")
+            if escaping:
+                # The scalar's final value is consumed after the loop:
+                # plain privatization would drop it.
+                clauses.append(f"lastprivate({', '.join(escaping)})")
+                notes.append("post-loop reads require lastprivate")
+            notes.append("privatizable scalars from write-before-read analysis")
+
+        pragma = "#pragma omp " + " ".join(parts)
+        if clauses:
+            pragma += " " + " ".join(clauses)
+        return pragma, "; ".join(notes) or "independent iterations"
+
+    # -- whole files ---------------------------------------------------------------
+
+    def suggest_file(self, source: str) -> list[Suggestion]:
+        """Suggestions for every outermost loop of a C file.
+
+        File context enables liveness: scalars consumed after a loop are
+        suggested as ``lastprivate`` rather than ``private``.
+        """
+        from repro.cfg.analysis import scalars_read_after
+        from repro.cfront import parse_source
+        from repro.cfront.nodes import LOOP_KINDS
+        from repro.dataset.extract import _outermost_loops
+
+        samples = extract_loops_from_source(source)
+        tu = parse_source(source)
+        live_outs: list[frozenset[str]] = []
+        for fn in tu.functions():
+            if fn.body is None:
+                continue
+            for loop in _outermost_loops(fn.body):
+                live_outs.append(frozenset(scalars_read_after(fn.body, loop)))
+        if len(live_outs) != len(samples):   # defensive: keep them aligned
+            live_outs = [frozenset()] * len(samples)
+        return [
+            self.suggest_loop(s.source, live_out=lo)
+            for s, lo in zip(samples, live_outs)
+        ]
+
+
+def agreement(suggested: str | None, original: str | None) -> dict:
+    """Clause-level agreement between a suggested and an original pragma.
+
+    Returns directive/reduction/private agreement flags used by the
+    pragma-generation bench.
+    """
+    from repro.pragma import parse_omp_pragma
+
+    if suggested is None or original is None:
+        return {"both_present": suggested is None and original is None,
+                "directive_match": False, "reduction_match": False}
+    sp = parse_omp_pragma(suggested)
+    op = parse_omp_pragma(original)
+    if sp is None or op is None:
+        return {"both_present": False, "directive_match": False,
+                "reduction_match": False}
+    return {
+        "both_present": True,
+        "directive_match": ("for" in sp.directives) == ("for" in op.directives)
+        and sp.has_directive("target") == op.has_directive("target"),
+        "reduction_match": {v for _, v in sp.reductions}
+        == {v for _, v in op.reductions},
+    }

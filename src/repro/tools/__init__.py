@@ -1,0 +1,44 @@
+"""Algorithm-based auto-parallelization tools (simulated comparators).
+
+The paper compares Graph2Par against Pluto (polyhedral static), autoPar
+(ROSE static) and DiscoPoP (dynamic).  None of those binaries exist in
+this offline environment, so this package re-implements their *decision
+surfaces* on our own substrate (see DESIGN.md substitution table):
+
+- :mod:`repro.tools.canonical` / :mod:`repro.tools.affine` /
+  :mod:`repro.tools.access` / :mod:`repro.tools.deps` — the shared static
+  dependence-analysis machinery;
+- :mod:`repro.tools.interp` — a mini C interpreter that traces memory
+  accesses (the stand-in for DiscoPoP's LLVM instrumentation + runtime);
+- :mod:`repro.tools.pluto` / :mod:`repro.tools.autopar` /
+  :mod:`repro.tools.discopop` — the three comparators, each with its
+  faithful applicability gate and detection rules (conservative, zero
+  false positives).
+"""
+
+from repro.tools.base import ParallelTool, ToolResult, ToolVerdict
+from repro.tools.pluto import Pluto
+from repro.tools.autopar import AutoPar
+from repro.tools.discopop import DiscoPoP
+
+ALL_TOOLS = {"pluto": Pluto, "autopar": AutoPar, "discopop": DiscoPoP}
+
+
+def make_tool(name: str) -> ParallelTool:
+    """Instantiate a comparator tool by its lowercase name."""
+    try:
+        return ALL_TOOLS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown tool {name!r}; choose from {sorted(ALL_TOOLS)}")
+
+
+__all__ = [
+    "ParallelTool",
+    "ToolResult",
+    "ToolVerdict",
+    "Pluto",
+    "AutoPar",
+    "DiscoPoP",
+    "ALL_TOOLS",
+    "make_tool",
+]

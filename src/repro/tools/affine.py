@@ -1,0 +1,172 @@
+"""Affine expression analysis and classic dependence tests.
+
+An expression is *affine* in a set of loop variables when it is a linear
+combination ``c0 + Σ c_k · i_k`` with integer literal coefficients;
+symbolic loop-invariant terms are tolerated as opaque constants (they
+cancel in the dependence equations when identical on both sides).
+
+Dependence tests implemented: the ZIV test, the strong-SIV test, and the
+GCD test (Banerjee's necessary condition) for general affine pairs.  A
+return of ``True`` means "dependence possible" — conservative direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+
+from repro.cfront.nodes import (
+    BinaryOperator,
+    DeclRefExpr,
+    Expr,
+    IntegerLiteral,
+    UnaryOperator,
+)
+
+
+@dataclass
+class Affine:
+    """``const + Σ coeffs[var] · var (+ Σ symbolic terms)``."""
+
+    const: int = 0
+    coeffs: dict[str, int] = field(default_factory=dict)
+    #: loop-invariant opaque terms, e.g. ("n", 1); kept sorted for equality
+    symbols: tuple[tuple[str, int], ...] = ()
+
+    def coeff(self, var: str) -> int:
+        return self.coeffs.get(var, 0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs and not self.symbols
+
+    def same_symbols(self, other: "Affine") -> bool:
+        return self.symbols == other.symbols
+
+
+def to_affine(expr: Expr, loop_vars: set[str]) -> Affine | None:
+    """Affine form of ``expr`` over ``loop_vars``; ``None`` when non-affine.
+
+    Any identifier outside ``loop_vars`` becomes a symbolic term with its
+    multiplier; products of two non-constant terms, divisions, calls,
+    array reads inside subscripts etc. make the expression non-affine.
+    """
+    if isinstance(expr, IntegerLiteral):
+        return Affine(const=expr.value)
+    if isinstance(expr, DeclRefExpr):
+        if expr.name in loop_vars:
+            return Affine(coeffs={expr.name: 1})
+        return Affine(symbols=((expr.name, 1),))
+    if isinstance(expr, UnaryOperator) and expr.prefix and expr.op in ("+", "-"):
+        inner = to_affine(expr.operand, loop_vars)
+        if inner is None:
+            return None
+        if expr.op == "+":
+            return inner
+        return Affine(
+            const=-inner.const,
+            coeffs={v: -c for v, c in inner.coeffs.items()},
+            symbols=tuple((s, -m) for s, m in inner.symbols),
+        )
+    if isinstance(expr, BinaryOperator):
+        if expr.op in ("+", "-"):
+            left = to_affine(expr.lhs, loop_vars)
+            right = to_affine(expr.rhs, loop_vars)
+            if left is None or right is None:
+                return None
+            sign = 1 if expr.op == "+" else -1
+            coeffs = dict(left.coeffs)
+            for v, c in right.coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) + sign * c
+            coeffs = {v: c for v, c in coeffs.items() if c}
+            sym: dict[str, int] = dict(left.symbols)
+            for s, m in right.symbols:
+                sym[s] = sym.get(s, 0) + sign * m
+            symbols = tuple(sorted((s, m) for s, m in sym.items() if m))
+            return Affine(const=left.const + sign * right.const,
+                          coeffs=coeffs, symbols=symbols)
+        if expr.op == "*":
+            left = to_affine(expr.lhs, loop_vars)
+            right = to_affine(expr.rhs, loop_vars)
+            if left is None or right is None:
+                return None
+            # Exactly one side must be a pure integer constant.
+            for a, b in ((left, right), (right, left)):
+                if a.is_constant:
+                    k = a.const
+                    return Affine(
+                        const=k * b.const,
+                        coeffs={v: k * c for v, c in b.coeffs.items() if k * c},
+                        symbols=tuple((s, k * m) for s, m in b.symbols if k * m),
+                    )
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Dependence tests
+# ---------------------------------------------------------------------------
+
+
+def ziv_test(a: Affine, b: Affine) -> bool:
+    """Zero-index-variable test: both constant → dependence iff equal."""
+    return a.const == b.const and a.same_symbols(b)
+
+
+def gcd_test(a: Affine, b: Affine) -> bool:
+    """Multi-variable GCD necessary condition for ``a(x) = b(y)``.
+
+    Considers every loop-variable coefficient on both sides.  True means
+    a dependence *may* exist (conservative); symbolic parts must match
+    for the constant difference to be meaningful.
+    """
+    if not a.same_symbols(b):
+        return True  # unknown symbols: be conservative
+    coeffs = [abs(c) for c in a.coeffs.values()] + \
+             [abs(c) for c in b.coeffs.values()]
+    diff = b.const - a.const
+    g = 0
+    for c in coeffs:
+        g = gcd(g, c)
+    if g == 0:
+        return diff == 0
+    return diff % g == 0
+
+
+def strong_siv_has_cross_iteration(a: Affine, b: Affine, var: str) -> bool | None:
+    """Strong-SIV: equal coefficients ⇒ constant dependence distance.
+
+    Only applicable when ``var`` is the *only* loop variable either side
+    mentions — another index variable could compensate an arbitrary
+    distance.  Returns ``True``/``False`` when decidable, ``None`` when
+    not a strong-SIV pair.  ``False`` means: the only solution is
+    distance 0 (same iteration), i.e. **no loop-carried dependence**.
+    """
+    if not a.same_symbols(b):
+        return None
+    if set(a.coeffs) - {var} or set(b.coeffs) - {var}:
+        return None  # other index variables involved: not SIV
+    ca, cb = a.coeff(var), b.coeff(var)
+    if ca != cb:
+        return None
+    if ca == 0:
+        return None  # ZIV case, not SIV
+    diff = b.const - a.const
+    if diff % ca != 0:
+        return False  # no integer solution at all
+    return diff // ca != 0  # non-zero distance = loop carried
+
+
+def affine_pair_dependent(a: Affine, b: Affine, var: str) -> bool:
+    """Is a loop-carried dependence between subscripts ``a`` and ``b`` possible?
+
+    Decision ladder: ZIV → strong SIV → multi-variable GCD (conservative
+    fallback).
+    """
+    if a.is_constant and b.is_constant:
+        # Same cell touched every iteration: loop-carried by definition.
+        return ziv_test(a, b)
+    strong = strong_siv_has_cross_iteration(a, b, var)
+    if strong is not None:
+        return strong
+    return gcd_test(a, b)

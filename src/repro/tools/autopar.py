@@ -1,0 +1,135 @@
+"""autoPar simulator: ROSE's static loop parallelizer.
+
+Decision surface of the real tool (Quinlan & Liao 2011):
+
+- **Applicability** — autoPar parses whole files through ROSE/EDG; it
+  handles canonical ``for`` loops only, but tolerates conditionals and
+  nested regular loops.  ``while``/``do`` loops, ``goto``, and loops
+  whose induction update is unrecognisable are skipped.
+- **Detection** — dependence analysis on affine subscripts, *scalar
+  privatization* (written-before-read scalars become ``private``), and
+  *single-statement reduction recognition* (``s += e`` / ``s = s + e``
+  becomes ``reduction``).  A loop with any function call is rejected as
+  parallel — ROSE's default side-effect analysis cannot prove callee
+  purity (this is why Listing 3 defeats it).  Multi-statement reductions
+  (Listing 4) are not in its pattern table.
+- **Zero false positives** — when in doubt, not parallel.
+"""
+
+from __future__ import annotations
+
+from repro.cfront.nodes import ForStmt, GotoStmt, Stmt
+from repro.tools.base import ParallelTool, ToolResult, ToolVerdict
+from repro.tools.affine import to_affine
+from repro.tools.deps import analyze_loop
+
+
+class AutoPar(ParallelTool):
+    name = "autopar"
+
+    def analyze_loop(self, loop: Stmt, *,
+                     pointer_arrays: frozenset[str] = frozenset(),
+                     file_meta: dict | None = None) -> ToolResult:
+        if not isinstance(loop, ForStmt):
+            return ToolResult(
+                ToolVerdict.UNPROCESSABLE,
+                reason=f"{loop.kind}: autoPar only handles for loops",
+            )
+        if any(isinstance(n, GotoStmt) for n in loop.walk()):
+            return ToolResult(ToolVerdict.UNPROCESSABLE, reason="goto in loop")
+        deps = analyze_loop(loop)
+        if deps.canonical is None:
+            return ToolResult(
+                ToolVerdict.UNPROCESSABLE, reason="non-canonical for loop"
+            )
+        alias_reason = self._alias_hazard(deps, pointer_arrays)
+        if alias_reason is not None:
+            # Without ``restrict``, two pointer parameters may overlap:
+            # every cross-array write/access pair is a potential
+            # dependence — ROSE's default conservative answer.
+            return ToolResult(ToolVerdict.NOT_PARALLEL, reason=alias_reason)
+        if deps.has_calls:
+            # Side-effect analysis gives up: the call may touch anything.
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason="function call with unknown side effects",
+            )
+        if deps.non_affine or deps.inexact_access:
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason="unresolvable (non-affine or pointer) access",
+            )
+        coupled = self._coupled_subscript(deps)
+        if coupled is not None:
+            # Coupled subscripts (one dimension indexed by several loop
+            # variables) defeat the separable per-dimension dependence
+            # tests classical source-level parallelizers use.
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason=f"coupled subscript on {coupled}",
+            )
+        if deps.array_deps:
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason=f"loop-carried dependence on {deps.array_deps[0].base}",
+            )
+        # Reduction recognition: single-statement scalar reductions only.
+        multi_stmt = [r for r in deps.reductions if r.statements > 1]
+        if multi_stmt:
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason=f"unrecognised multi-statement update of "
+                       f"{multi_stmt[0].var}",
+            )
+        if deps.shared_scalar_writes:
+            return ToolResult(
+                ToolVerdict.NOT_PARALLEL,
+                reason=f"shared scalar {sorted(deps.shared_scalar_writes)[0]}",
+            )
+        patterns = {"do-all"}
+        if deps.reductions:
+            patterns.add("reduction")
+        if deps.privatizable:
+            patterns.add("private")
+        return ToolResult(ToolVerdict.PARALLEL, patterns=patterns)
+
+    @staticmethod
+    def _alias_hazard(deps, pointer_arrays: frozenset[str]) -> str | None:
+        """Aliasing verdict: a written pointer array + any second pointer
+        array accessed in the same loop may overlap."""
+        if not pointer_arrays:
+            return None
+        accessed = {
+            a.base for a in deps.summary.accesses if a.subscripts
+        } & set(pointer_arrays)
+        written = deps.summary.written_bases() & accessed
+        if written and len(accessed) > 1:
+            other = sorted(accessed - written) or sorted(written)
+            return (f"possible aliasing between pointer parameters "
+                    f"{sorted(written)[0]} and {other[0]}")
+        return None
+
+    @staticmethod
+    def _coupled_subscript(deps) -> str | None:
+        """First array with a multi-variable subscript dimension, if any."""
+        if deps.canonical is None:
+            return None
+        from repro.tools.deps import _inner_loop_vars
+        body = deps.canonical.loop.body
+        loop_vars = {deps.canonical.var} | _inner_loop_vars(body)
+        for acc in deps.summary.accesses:
+            for sub in acc.subscripts:
+                aff = to_affine(sub, loop_vars)
+                if aff is not None and len(
+                    [v for v in aff.coeffs if aff.coeffs[v]]
+                ) > 1:
+                    return acc.base
+        return None
+
+    def can_process_file(self, file_meta: dict) -> bool:
+        """ROSE must fully front-end the file: it chokes on exotic headers
+        and GNU extensions — the biggest coverage limiter in the paper
+        (10.3 % of loops)."""
+        return bool(file_meta.get("compiles", True)) and not file_meta.get(
+            "uses_nonstandard_headers", False
+        )

@@ -1,0 +1,71 @@
+"""Common result types for the comparator tools."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cfront.nodes import Stmt
+
+
+class ToolVerdict(enum.Enum):
+    """Outcome of running a tool on one loop."""
+
+    PARALLEL = "parallel"            # tool reports the loop parallelisable
+    NOT_PARALLEL = "not_parallel"    # processed, but no parallelism found
+    UNPROCESSABLE = "unprocessable"  # tool cannot handle this loop at all
+
+
+@dataclass
+class ToolResult:
+    """Everything a tool reports for one loop.
+
+    ``patterns`` holds detected parallel patterns (``"do-all"``,
+    ``"reduction"``, ``"private"``); ``reason`` explains unprocessable /
+    negative verdicts for debugging and the Figure-2 breakdown.
+    """
+
+    verdict: ToolVerdict
+    patterns: set[str] = field(default_factory=set)
+    reason: str = ""
+
+    @property
+    def processable(self) -> bool:
+        return self.verdict is not ToolVerdict.UNPROCESSABLE
+
+    @property
+    def parallel(self) -> bool:
+        return self.verdict is ToolVerdict.PARALLEL
+
+
+class ParallelTool:
+    """Interface shared by the three comparators.
+
+    ``analyze_loop`` takes the loop plus its *declaration context*:
+
+    - ``pointer_arrays`` — array bases that are pointer parameters in the
+      enclosing function.  Static tools must assume such pointers may
+      alias (no ``restrict``), which is the dominant reason real static
+      parallelizers reject crawled code; a dynamic tool observes actual
+      addresses and does not care.
+    - ``file_meta`` — whole-file attributes; the dynamic tool cannot
+      produce any verdict for a loop it cannot link and execute.
+    """
+
+    #: lowercase tool name
+    name: str = "tool"
+
+    def analyze_loop(self, loop: Stmt, *,
+                     pointer_arrays: frozenset[str] = frozenset(),
+                     file_meta: dict | None = None) -> ToolResult:  # pragma: no cover
+        raise NotImplementedError
+
+    def can_process_file(self, file_meta: dict) -> bool:
+        """Whole-file applicability gate (the §2 coverage statistic).
+
+        ``file_meta`` carries corpus attributes (``has_main``,
+        ``external_calls``, ``compiles`` ...) produced by the dataset
+        generator; each tool overrides this with its toolchain's real
+        requirements.
+        """
+        return bool(file_meta.get("compiles", True))

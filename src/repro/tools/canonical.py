@@ -1,0 +1,148 @@
+"""Canonical loop-form recognition.
+
+OpenMP worksharing (and every static analyzer here) requires loops in
+canonical form::
+
+    for (i = lb; i < ub; i += step)    // also <=, >, >=, i++, i--, i -= c
+
+This module extracts ``(var, lower, upper, step, direction)`` or reports
+why a loop is non-canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfront.nodes import (
+    BinaryOperator,
+    BreakStmt,
+    DeclRefExpr,
+    DeclStmt,
+    ExprStmt,
+    Expr,
+    ForStmt,
+    GotoStmt,
+    IntegerLiteral,
+    ReturnStmt,
+    Stmt,
+    UnaryOperator,
+)
+
+
+@dataclass
+class CanonicalLoop:
+    """A recognised canonical for-loop."""
+
+    var: str
+    lower: Expr | None         # None when init is missing/external
+    upper: Expr
+    cmp_op: str                # < <= > >=
+    step: int                  # signed literal step; 0 = symbolic
+    step_expr: Expr | None     # non-literal step expression if any
+    loop: ForStmt
+
+    @property
+    def ascending(self) -> bool:
+        return self.cmp_op in ("<", "<=")
+
+    @property
+    def unit_stride(self) -> bool:
+        return abs(self.step) == 1
+
+
+def _init_var(init: Stmt | None) -> tuple[str | None, Expr | None]:
+    """Extract (var, lower bound) from a for-init clause."""
+    if init is None:
+        return None, None
+    if isinstance(init, DeclStmt) and len(init.decls) == 1:
+        d = init.decls[0]
+        return d.name, d.init
+    if isinstance(init, ExprStmt) and isinstance(init.expr, BinaryOperator):
+        e = init.expr
+        if e.op == "=" and isinstance(e.lhs, DeclRefExpr):
+            return e.lhs.name, e.rhs
+    return None, None
+
+
+def _step_of(inc: Expr | None, var: str) -> tuple[int, Expr | None] | None:
+    """Signed step from the increment clause; None when unrecognisable."""
+    if inc is None:
+        return None
+    if isinstance(inc, UnaryOperator) and inc.is_incdec:
+        if isinstance(inc.operand, DeclRefExpr) and inc.operand.name == var:
+            return (1 if inc.op == "++" else -1), None
+        return None
+    if isinstance(inc, BinaryOperator) and isinstance(inc.lhs, DeclRefExpr) \
+            and inc.lhs.name == var:
+        sign = {"+=": 1, "-=": -1}.get(inc.op)
+        if sign is not None:
+            if isinstance(inc.rhs, IntegerLiteral):
+                return sign * inc.rhs.value, None
+            return 0, inc.rhs  # symbolic step
+        if inc.op == "=" and isinstance(inc.rhs, BinaryOperator):
+            # i = i + c / i = c + i / i = i - c
+            r = inc.rhs
+            if r.op in ("+", "-"):
+                lhs_is_var = (
+                    isinstance(r.lhs, DeclRefExpr) and r.lhs.name == var
+                )
+                rhs_is_var = (
+                    isinstance(r.rhs, DeclRefExpr) and r.rhs.name == var
+                )
+                if lhs_is_var and isinstance(r.rhs, IntegerLiteral):
+                    return (1 if r.op == "+" else -1) * r.rhs.value, None
+                if rhs_is_var and r.op == "+" and isinstance(r.lhs, IntegerLiteral):
+                    return r.lhs.value, None
+                if lhs_is_var or rhs_is_var:
+                    return 0, r  # symbolic
+    return None
+
+
+def recognize_canonical(loop: Stmt) -> CanonicalLoop | None:
+    """Recognise a canonical for-loop, or return ``None``.
+
+    Requirements: a ``for`` statement whose condition compares the
+    induction variable against a bound, whose increment adjusts only the
+    induction variable, and whose body never writes the induction
+    variable, ``break``s, ``goto``s, or ``return``s.
+    """
+    if not isinstance(loop, ForStmt) or loop.cond is None:
+        return None
+    var, lower = _init_var(loop.init)
+    cond = loop.cond
+    if not isinstance(cond, BinaryOperator) or cond.op not in ("<", "<=", ">", ">="):
+        return None
+    # Identify which side of the comparison is the induction variable.
+    if isinstance(cond.lhs, DeclRefExpr) and (var is None or cond.lhs.name == var):
+        var = var or cond.lhs.name
+        upper, cmp_op = cond.rhs, cond.op
+    elif isinstance(cond.rhs, DeclRefExpr) and (var is None or cond.rhs.name == var):
+        var = var or cond.rhs.name
+        upper = cond.lhs
+        cmp_op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[cond.op]
+    else:
+        return None
+
+    step_info = _step_of(loop.inc, var)
+    if step_info is None:
+        return None
+    step, step_expr = step_info
+    if step != 0:
+        ascending = cmp_op in ("<", "<=")
+        if (step > 0) != ascending:
+            return None  # diverging loop
+
+    # The body must not modify the induction variable or escape.
+    for node in loop.body.walk():
+        if isinstance(node, (BreakStmt, GotoStmt, ReturnStmt)):
+            return None
+        if isinstance(node, BinaryOperator) and node.is_assignment:
+            if isinstance(node.lhs, DeclRefExpr) and node.lhs.name == var:
+                return None
+        if isinstance(node, UnaryOperator) and node.is_incdec:
+            if isinstance(node.operand, DeclRefExpr) and node.operand.name == var:
+                return None
+    return CanonicalLoop(
+        var=var, lower=lower, upper=upper, cmp_op=cmp_op,
+        step=step, step_expr=step_expr, loop=loop,
+    )

@@ -1,0 +1,25 @@
+"""Training loop, metrics, and experiment plumbing."""
+
+from repro.train.metrics import (
+    BinaryMetrics,
+    classification_metrics,
+    confusion_counts,
+)
+from repro.train.trainer import (
+    GraphTrainer,
+    TokenTrainer,
+    TrainConfig,
+    prepare_graph_data,
+    prepare_token_data,
+)
+
+__all__ = [
+    "BinaryMetrics",
+    "confusion_counts",
+    "classification_metrics",
+    "TrainConfig",
+    "GraphTrainer",
+    "TokenTrainer",
+    "prepare_graph_data",
+    "prepare_token_data",
+]

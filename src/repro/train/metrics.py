@@ -1,0 +1,83 @@
+"""Classification metrics in the exact form the paper's tables use."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BinaryMetrics:
+    """TP/TN/FP/FN and derived scores for one binary task."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    def as_row(self) -> dict:
+        """Table-4 style row."""
+        return {
+            "TP": self.tp, "TN": self.tn, "FP": self.fp, "FN": self.fn,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "accuracy": round(self.accuracy, 4),
+        }
+
+
+def confusion_counts(preds: np.ndarray, labels: np.ndarray) -> BinaryMetrics:
+    preds = np.asarray(preds).astype(int)
+    labels = np.asarray(labels).astype(int)
+    return BinaryMetrics(
+        tp=int(((preds == 1) & (labels == 1)).sum()),
+        tn=int(((preds == 0) & (labels == 0)).sum()),
+        fp=int(((preds == 1) & (labels == 0)).sum()),
+        fn=int(((preds == 0) & (labels == 1)).sum()),
+    )
+
+
+def classification_metrics(preds: np.ndarray, labels: np.ndarray) -> dict:
+    """Macro-averaged P/R/F1 plus accuracy (Table 2/5 format).
+
+    For binary tasks the paper reports macro averages of the per-class
+    scores; this mirrors that so numbers are comparable.
+    """
+    preds = np.asarray(preds).astype(int)
+    labels = np.asarray(labels).astype(int)
+    classes = sorted(set(labels.tolist()) | set(preds.tolist()))
+    per_class = []
+    for c in classes:
+        m = confusion_counts((preds == c).astype(int), (labels == c).astype(int))
+        per_class.append((m.precision, m.recall, m.f1))
+    p = float(np.mean([x[0] for x in per_class])) if per_class else 0.0
+    r = float(np.mean([x[1] for x in per_class])) if per_class else 0.0
+    f = float(np.mean([x[2] for x in per_class])) if per_class else 0.0
+    acc = float((preds == labels).mean()) if labels.size else 0.0
+    return {
+        "precision": round(p, 4),
+        "recall": round(r, 4),
+        "f1": round(f, 4),
+        "accuracy": round(acc, 4),
+    }

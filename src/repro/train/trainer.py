@@ -1,0 +1,262 @@
+"""Trainers for the graph models and the token baseline.
+
+Mini-batched Adam with cosine decay, gradient clipping, class-weighted
+cross-entropy (OMP_Serial is imbalanced), and early stopping on
+validation F1.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.sample import LoopSample
+from repro.graphs import (
+    GraphVocab,
+    build_aug_ast,
+    build_graph_vocab,
+    build_vanilla_ast,
+    collate,
+    encode_graph,
+)
+from repro.graphs.encode import EncodedGraph
+from repro.models.pragformer import build_token_vocab, encode_tokens, tokenize_loop
+from repro.nn import Adam, clip_grad_norm, cosine_schedule, functional as F
+from repro.nn.tensor import no_grad
+from repro.train.metrics import classification_metrics
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 8
+    batch_size: int = 32
+    lr: float = 2e-3
+    weight_decay: float = 1e-4
+    warmup_fraction: float = 0.1
+    grad_clip: float = 1.0
+    class_weights: bool = True
+    early_stop_patience: int = 0      # 0 = disabled
+    seed: int = 0
+    verbose: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Data preparation
+# ---------------------------------------------------------------------------
+
+
+def prepare_graph_data(
+    samples: list[LoopSample],
+    representation: str = "aug",
+    vocab: GraphVocab | None = None,
+    label_fn=None,
+) -> tuple[list[EncodedGraph], GraphVocab]:
+    """Samples → encoded graphs (+ the vocabulary used).
+
+    ``representation``: ``"aug"`` (full aug-AST), ``"vanilla"`` (tree
+    only), ``"aug-nocfg"`` / ``"aug-nolex"`` (ablations).
+    ``label_fn(sample) -> int`` defaults to the parallel/non-parallel
+    label.
+    """
+    label_fn = label_fn or (lambda s: s.label)
+    builders = {
+        "aug": lambda loop: build_aug_ast(loop),
+        "vanilla": lambda loop: build_vanilla_ast(loop),
+        "aug-nocfg": lambda loop: build_aug_ast(loop, with_cfg=False),
+        "aug-nolex": lambda loop: build_aug_ast(loop, with_lexical=False),
+    }
+    try:
+        builder = builders[representation]
+    except KeyError:
+        raise ValueError(
+            f"unknown representation {representation!r}; "
+            f"choose from {sorted(builders)}"
+        )
+    graphs = [builder(s.ast()) for s in samples]
+    if vocab is None:
+        vocab = build_graph_vocab(graphs)
+    encoded = [
+        encode_graph(g, vocab, label=label_fn(s))
+        for g, s in zip(graphs, samples)
+    ]
+    return encoded, vocab
+
+
+def prepare_token_data(
+    samples: list[LoopSample],
+    vocab=None,
+    max_len: int = 128,
+    label_fn=None,
+):
+    """Samples → (ids, mask, labels) for PragFormer (+ vocabulary)."""
+    label_fn = label_fn or (lambda s: s.label)
+    seqs = [tokenize_loop(s.source, max_len) for s in samples]
+    if vocab is None:
+        vocab = build_token_vocab(seqs)
+    ids, mask = encode_tokens(seqs, vocab, max_len)
+    labels = np.array([label_fn(s) for s in samples], dtype=np.int64)
+    return ids, mask, labels, vocab
+
+
+def _class_weights(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    weights = counts.sum() / (num_classes * counts)
+    return weights.astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Graph trainer
+# ---------------------------------------------------------------------------
+
+
+class GraphTrainer:
+    """Trains a Graph2Par/GCN model on encoded graphs."""
+
+    def __init__(self, model, config: TrainConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.opt = Adam(model.parameters(), lr=self.config.lr,
+                        weight_decay=self.config.weight_decay)
+        self.history: list[dict] = []
+
+    def fit(self, train_data: list[EncodedGraph],
+            val_data: list[EncodedGraph] | None = None) -> list[dict]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        labels = np.array([g.label for g in train_data])
+        num_classes = self.model.config.num_classes
+        weights = _class_weights(labels, num_classes) if cfg.class_weights else None
+        steps_per_epoch = max(1, len(train_data) // cfg.batch_size)
+        total_steps = cfg.epochs * steps_per_epoch
+        warmup = int(total_steps * cfg.warmup_fraction)
+        step = 0
+        best_f1, best_state, patience_left = -1.0, None, cfg.early_stop_patience
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(train_data))
+            self.model.train()
+            epoch_loss, n_batches = 0.0, 0
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start: start + cfg.batch_size]
+                batch = collate([train_data[i] for i in idx])
+                self.opt.lr = cosine_schedule(step, total_steps, cfg.lr,
+                                              warmup=warmup)
+                self.opt.zero_grad()
+                logits = self.model(batch)
+                loss = F.cross_entropy(logits, batch.labels, weight=weights)
+                loss.backward()
+                clip_grad_norm(self.opt.params, cfg.grad_clip)
+                self.opt.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+                step += 1
+            record = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
+            if val_data is not None:
+                record.update(
+                    {f"val_{k}": v for k, v in self.evaluate(val_data).items()}
+                )
+                if cfg.early_stop_patience:
+                    f1 = record["val_f1"]
+                    if f1 > best_f1:
+                        best_f1, best_state = f1, self.model.state_dict()
+                        patience_left = cfg.early_stop_patience
+                    else:
+                        patience_left -= 1
+                        if patience_left <= 0:
+                            self.history.append(record)
+                            break
+            self.history.append(record)
+            if cfg.verbose:
+                print(record)
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self.history
+
+    def predict(self, data: list[EncodedGraph],
+                batch_size: int | None = None) -> np.ndarray:
+        bs = batch_size or self.config.batch_size
+        self.model.eval()
+        preds: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(data), bs):
+                batch = collate(data[start: start + bs])
+                preds.append(F.predict_classes(self.model(batch)))
+        return np.concatenate(preds) if preds else np.zeros(0, dtype=int)
+
+    def evaluate(self, data: list[EncodedGraph]) -> dict:
+        preds = self.predict(data)
+        labels = np.array([g.label for g in data])
+        return classification_metrics(preds, labels)
+
+
+# ---------------------------------------------------------------------------
+# Token trainer
+# ---------------------------------------------------------------------------
+
+
+class TokenTrainer:
+    """Trains PragFormer on (ids, mask, labels) arrays."""
+
+    def __init__(self, model, config: TrainConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.opt = Adam(model.parameters(), lr=self.config.lr,
+                        weight_decay=self.config.weight_decay)
+        self.history: list[dict] = []
+
+    def fit(self, ids: np.ndarray, mask: np.ndarray, labels: np.ndarray,
+            val: tuple | None = None) -> list[dict]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        num_classes = self.model.config.num_classes
+        weights = _class_weights(labels, num_classes) if cfg.class_weights else None
+        steps_per_epoch = max(1, len(labels) // cfg.batch_size)
+        total_steps = cfg.epochs * steps_per_epoch
+        warmup = int(total_steps * cfg.warmup_fraction)
+        step = 0
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(labels))
+            self.model.train()
+            epoch_loss, n_batches = 0.0, 0
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start: start + cfg.batch_size]
+                self.opt.lr = cosine_schedule(step, total_steps, cfg.lr,
+                                              warmup=warmup)
+                self.opt.zero_grad()
+                logits = self.model(ids[idx], mask[idx])
+                loss = F.cross_entropy(logits, labels[idx], weight=weights)
+                loss.backward()
+                clip_grad_norm(self.opt.params, cfg.grad_clip)
+                self.opt.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+                step += 1
+            record = {"epoch": epoch, "loss": epoch_loss / max(n_batches, 1)}
+            if val is not None:
+                v_ids, v_mask, v_labels = val
+                record.update({
+                    f"val_{k}": v
+                    for k, v in self.evaluate(v_ids, v_mask, v_labels).items()
+                })
+            self.history.append(record)
+            if cfg.verbose:
+                print(record)
+        return self.history
+
+    def predict(self, ids: np.ndarray, mask: np.ndarray,
+                batch_size: int | None = None) -> np.ndarray:
+        bs = batch_size or self.config.batch_size
+        self.model.eval()
+        preds: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(ids), bs):
+                logits = self.model(ids[start: start + bs],
+                                    mask[start: start + bs])
+                preds.append(F.predict_classes(logits))
+        return np.concatenate(preds) if preds else np.zeros(0, dtype=int)
+
+    def evaluate(self, ids: np.ndarray, mask: np.ndarray,
+                 labels: np.ndarray) -> dict:
+        preds = self.predict(ids, mask)
+        return classification_metrics(preds, labels)

@@ -1,0 +1,118 @@
+"""Unparser round-trip and formatting tests."""
+
+import pytest
+
+from repro.cfront import loc_of, parse_loop, parse_source, parse_statements, unparse
+
+
+def unparse_stmts(source):
+    """Unparse a statement snippet without the synthetic block wrapper."""
+    block = parse_statements(source)
+    return "\n".join(unparse(s) for s in block.stmts)
+
+
+ROUND_TRIP_SNIPPETS = [
+    "x = a + b * c;",
+    "x = (a + b) * c;",
+    "x = a - (b - c);",
+    "x = a / b / c;",
+    "x = a - b - c;",
+    "y = -x + !z;",
+    "p = &a[i];",
+    "x = *p + p->next->value;",
+    "q = a ? b : c ? d : e;",
+    "x = (a ? b : c) + 1;",
+    "f(a, b + 1, g(c));",
+    "a[i][j] = b[j][i];",
+    "x = (double)n / m;",
+    "n = sizeof(double) * count;",
+    "x += y <<= 2;",
+    "i++, j--;",
+    "s.field = t->field;",
+    "x = a % b == 0;",
+    "mask = a & b | c ^ d;",
+    "x = a << 2 >> 1;",
+    "ok = a < b && c >= d || !e;",
+]
+
+
+@pytest.mark.parametrize("snippet", ROUND_TRIP_SNIPPETS)
+def test_expression_round_trip(snippet):
+    """parse -> unparse -> parse -> unparse is a fixed point."""
+    once = unparse_stmts(snippet)
+    twice = unparse_stmts(once)
+    assert once == twice
+
+
+STATEMENT_SNIPPETS = [
+    "if (a > 0) x = 1; else { x = 2; y = 3; }",
+    "while (i < n) { a[i] = 0; i++; }",
+    "do x--; while (x);",
+    "for (int i = 0, j = 0; i < n; i += 2) s += a[i];",
+    "for (;;) break;",
+    "switch (op) { case 1: x = 1; break; default: x = 0; }",
+    "top: if (x) goto top;",
+    "return a + b;",
+    "{ int x = 1; { int y = 2; } }",
+]
+
+
+@pytest.mark.parametrize("snippet", STATEMENT_SNIPPETS)
+def test_statement_round_trip(snippet):
+    once = unparse_stmts(snippet)
+    twice = unparse_stmts(once)
+    assert once == twice
+
+
+PROGRAMS = [
+    "int main(void) { return 0; }",
+    "double fabs(double x);\nint g;\nint use(void) { return fabs(g); }",
+    "typedef struct pair { int a, b; } pair_t;\nint f(pair_t p) { return p.a; }",
+    "struct node { struct node *next; int v; };\n"
+    "int len(struct node *p) { int n = 0; while (p) { n++; p = p->next; } return n; }",
+]
+
+
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_program_round_trip(program):
+    once = unparse(parse_source(program))
+    twice = unparse(parse_source(once))
+    assert once == twice
+
+
+class TestSemanticPreservation:
+    def test_precedence_parens_preserved(self):
+        assert "(a + b) * c" in unparse_stmts("x = (a + b) * c;")
+
+    def test_redundant_parens_removed(self):
+        assert "x = a + b;" in unparse_stmts("x = ((a)) + ((b));")
+
+    def test_right_assoc_subtraction_parens_kept(self):
+        assert "a - (b - c)" in unparse_stmts("x = a - (b - c);")
+
+    def test_unary_on_binary_parenthesized(self):
+        assert "-(a + b)" in unparse_stmts("x = -(a + b);")
+
+    def test_pragma_emitted_before_loop(self):
+        src = "#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = i;"
+        out = unparse_stmts(src)
+        lines = out.splitlines()
+        idx = next(i for i, ln in enumerate(lines) if "#pragma" in ln)
+        assert "for (" in lines[idx + 1]
+
+    def test_cast_round_trip(self):
+        assert "(float)(a + b)" in unparse_stmts("x = (float)(a + b);")
+
+
+class TestLocOf:
+    def test_single_line_loop(self):
+        loop = parse_loop("for (i = 0; i < n; i++) s += a[i];")
+        assert loc_of(loop) == 2  # header + body line
+
+    def test_block_loop(self):
+        loop = parse_loop("for (i = 0; i < n; i++) { s += a[i]; t += b[i]; }")
+        assert loc_of(loop) == 5  # header, braces, two body lines
+
+    def test_loc_counts_nonblank_only(self):
+        loop = parse_loop("for (i = 0; i < n; i++) s++;")
+        assert loc_of(loop) >= 1

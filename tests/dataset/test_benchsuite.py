@@ -1,0 +1,56 @@
+"""Tests for the fixed benchmark suite (out-of-distribution eval set)."""
+
+import pytest
+
+from repro.dataset.benchsuite import BENCHMARK_PROGRAMS, benchmark_suite_samples
+from repro.dataset.oracle import oracle_parallel
+from repro.tools import make_tool
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite_samples()
+
+
+class TestBenchmarkSuite:
+    def test_every_program_yields_loops(self, suite):
+        names = {s.file_meta["name"] for s in suite}
+        assert len(names) == len(BENCHMARK_PROGRAMS)
+
+    def test_both_classes_present(self, suite):
+        labels = {s.parallel for s in suite}
+        assert labels == {True, False}
+
+    def test_all_four_categories_present(self, suite):
+        cats = {s.category for s in suite if s.parallel}
+        assert {"reduction", "private", "simd", "target"} <= cats
+
+    def test_labels_agree_with_oracle(self, suite):
+        for s in suite:
+            assert oracle_parallel(s.ast()) == s.parallel, s.file_meta["name"]
+
+    def test_tools_have_zero_false_positives_on_suite(self, suite):
+        for name in ("pluto", "autopar", "discopop"):
+            tool = make_tool(name)
+            for s in suite:
+                if s.parallel:
+                    continue
+                verdict = tool.analyze_loop(
+                    s.ast(),
+                    pointer_arrays=frozenset(s.pointer_arrays),
+                    file_meta=s.file_meta,
+                )
+                assert not verdict.parallel, (name, s.file_meta["name"])
+
+    def test_origin_tag(self, suite):
+        assert all(s.origin == "benchsuite" for s in suite)
+
+    def test_listing1_family_kernel_defeats_all_tools(self, suite):
+        """norm_with_call mirrors Listing 1: reduction through libm."""
+        sample = next(s for s in suite
+                      if s.file_meta["name"] == "norm_with_call_like")
+        for name in ("pluto", "autopar", "discopop"):
+            verdict = make_tool(name).analyze_loop(
+                sample.ast(), file_meta=sample.file_meta,
+            )
+            assert not verdict.parallel, name

@@ -1,0 +1,141 @@
+"""Tests for the HGT model (Graph2Par)."""
+
+import numpy as np
+import pytest
+
+from repro.cfront import parse_loop
+from repro.graphs import build_aug_ast, build_graph_vocab, collate, encode_graph
+from repro.models import Graph2Par, Graph2ParConfig, HGTLayer, TypedLinear
+from repro.nn import Adam, Tensor, functional as F
+
+LOOPS = [
+    ("for (i = 0; i < n; i++) s += a[i];", 1),
+    ("for (i = 0; i < n; i++) a[i] = b[i];", 0),
+    ("for (j = 0; j < m; j++) t = t + c[j];", 1),
+    ("for (k = 0; k < 9; k++) d[k] = k;", 0),
+]
+
+
+@pytest.fixture(scope="module")
+def batch_and_vocab():
+    graphs = [build_aug_ast(parse_loop(src)) for src, _ in LOOPS]
+    vocab = build_graph_vocab(graphs)
+    encs = [encode_graph(g, vocab, label=y) for g, (_, y) in zip(graphs, LOOPS)]
+    return collate(encs), vocab
+
+
+class TestTypedLinear:
+    def test_types_get_distinct_transforms(self):
+        rng = np.random.default_rng(0)
+        tl = TypedLinear(3, 4, 4, rng=rng)
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        out_a = tl(x, np.array([0, 0]))
+        out_b = tl(x, np.array([1, 1]))
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_same_type_same_transform(self):
+        tl = TypedLinear(3, 4, 4)
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        out = tl(x, np.array([2, 2]))
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_output_shape(self):
+        tl = TypedLinear(5, 8, 16)
+        out = tl(Tensor(np.zeros((7, 8))), np.zeros(7, dtype=np.int64))
+        assert out.shape == (7, 16)
+
+    def test_gradients_flow_to_used_types_only(self):
+        tl = TypedLinear(4, 3, 3)
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = tl(x, np.array([1, 1]))
+        out.sum().backward()
+        # weight grad rows: only type 1 touched
+        wgrad = tl.weight.grad
+        assert np.abs(wgrad[1]).sum() > 0
+        assert np.abs(wgrad[0]).sum() == 0
+        assert np.abs(wgrad[2]).sum() == 0
+
+
+class TestHGTLayer:
+    def test_preserves_shape(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        layer = HGTLayer(vocab.num_types, dim=16, heads=4, dropout=0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(batch.num_nodes, 16)))
+        out = layer(x, batch)
+        assert out.shape == (batch.num_nodes, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            HGTLayer(num_types=3, dim=10, heads=3)
+
+    def test_info_propagates_over_edges(self, batch_and_vocab):
+        """Changing one node's features must affect its neighbours' output."""
+        batch, vocab = batch_and_vocab
+        layer = HGTLayer(vocab.num_types, dim=16, heads=2, dropout=0.0)
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(batch.num_nodes, 16)).astype(np.float32)
+        x1 = x0.copy()
+        x1[0] += 10.0  # perturb the root node
+        out0 = layer(Tensor(x0), batch).data
+        out1 = layer(Tensor(x1), batch).data
+        changed = np.where(np.abs(out0 - out1).sum(axis=1) > 1e-4)[0]
+        assert len(changed) > 1  # neighbours moved too, not just node 0
+
+
+class TestGraph2Par:
+    def test_logit_shape(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1))
+        assert model(batch).shape == (batch.num_graphs, 2)
+
+    def test_encode_shape(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1))
+        assert model.encode(batch).shape == (batch.num_graphs, 16)
+
+    def test_multiclass_head(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1,
+                                                 num_classes=5))
+        assert model(batch).shape == (batch.num_graphs, 5)
+
+    def test_deterministic_given_seed(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        cfg = Graph2ParConfig(dim=16, heads=2, layers=1, seed=3)
+        a = Graph2Par(vocab, cfg).eval()
+        b = Graph2Par(vocab, cfg).eval()
+        assert np.allclose(a(batch).data, b(batch).data)
+
+    def test_overfits_tiny_task(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=32, heads=4, layers=2,
+                                                 dropout=0.0))
+        opt = Adam(model.parameters(), lr=3e-3)
+        for _ in range(50):
+            opt.zero_grad()
+            loss = F.cross_entropy(model(batch), batch.labels)
+            loss.backward()
+            opt.step()
+        assert F.accuracy(model(batch), batch.labels) == 1.0
+
+    def test_gradients_reach_all_parameter_groups(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1,
+                                                 dropout=0.0))
+        loss = F.cross_entropy(model(batch), batch.labels)
+        loss.backward()
+        groups_with_grad = {
+            name.split(".")[0]
+            for name, p in model.named_parameters()
+            if p.grad is not None and np.abs(p.grad).sum() > 0
+        }
+        assert {"type_emb", "text_emb", "layers", "head"} <= groups_with_grad
+
+    def test_eval_mode_is_deterministic(self, batch_and_vocab):
+        batch, vocab = batch_and_vocab
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1,
+                                                 dropout=0.5))
+        model.eval()
+        out1 = model(batch).data
+        out2 = model(batch).data
+        assert np.allclose(out1, out2)

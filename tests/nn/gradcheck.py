@@ -1,0 +1,57 @@
+"""Central-difference gradient checking utilities (float64)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import tensor as T
+
+
+class float64_tensors:
+    """Context manager flipping the default dtype to float64."""
+
+    def __enter__(self):
+        self._prev = T.DEFAULT_DTYPE
+        T.set_default_dtype(np.float64)
+        return self
+
+    def __exit__(self, *exc):
+        T.set_default_dtype(self._prev)
+        return False
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """d fn / d x by central differences; ``fn`` maps ndarray -> scalar."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x: np.ndarray, rtol: float = 1e-5,
+                   atol: float = 1e-7) -> None:
+    """Assert autodiff and numerical gradients agree.
+
+    ``build_loss(tensor)`` constructs a scalar loss from a Tensor wrapping
+    ``x``.  Runs in float64.
+    """
+    with float64_tensors():
+        t = T.Tensor(x.astype(np.float64), requires_grad=True)
+        loss = build_loss(t)
+        loss.backward()
+        analytic = t.grad.copy()
+
+        def scalar_fn(arr: np.ndarray) -> float:
+            with T.no_grad():
+                return float(build_loss(T.Tensor(arr)).data)
+
+        numeric = numerical_grad(scalar_fn, x.astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

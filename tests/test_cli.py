@@ -1,0 +1,45 @@
+"""Tests for the CLI entry points."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import dataset_main, eval_main, train_main
+
+
+class TestDatasetCLI:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "ds.jsonl"
+        code = dataset_main(["--scale", "0.005", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "wrote" in text and "pragma_type" in text
+
+    def test_no_synthetic_flag(self, tmp_path):
+        out = tmp_path / "ds.jsonl"
+        dataset_main(["--scale", "0.005", "--no-synthetic", "--out", str(out)])
+        from repro.dataset import load_jsonl
+        samples = load_jsonl(out)
+        assert all(s.origin == "github" for s in samples)
+
+
+class TestTrainCLI:
+    def test_trains_and_reports(self, tmp_path, capsys):
+        weights = tmp_path / "m.npz"
+        code = train_main([
+            "--model", "graph2par", "--scale", "0.005", "--epochs", "1",
+            "--dim", "16", "--out", str(weights),
+        ])
+        assert code == 0
+        assert weights.exists()
+        assert "accuracy" in capsys.readouterr().out
+
+
+class TestEvalCLI:
+    def test_single_experiment(self, capsys):
+        code = eval_main(["table1", "--profile", "fast", "--scale", "0.005"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "paper reported" in out

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavier examples (suggest_pragmas trains several models) are marked
+slow but still complete within the suite's budget at their internal
+fast profiles.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, args: list[str] | None = None, timeout: int = 600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *(args or [])],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "parallel" in out
+        assert "aug-AST" in out
+
+    def test_tool_comparison(self):
+        out = run_example("tool_comparison.py")
+        assert "listing1" in out
+        assert "PARALLEL" in out
+        assert "unprocessable" in out or "not-parallel" in out
+
+    def test_visualize_augast(self):
+        out = run_example("visualize_augast.py")
+        assert "digraph augast" in out
+        assert "color=red" in out       # CFG edges
+        assert "color=orange" in out    # lexical edges
+
+    def test_train_graph2par_small(self):
+        out = run_example("train_graph2par.py", ["0.008", "1"])
+        assert "test metrics" in out
+        assert "weights saved" in out
+        Path("graph2par.npz").unlink(missing_ok=True)
+
+    @pytest.mark.slow
+    def test_suggest_pragmas(self):
+        out = run_example("suggest_pragmas.py", timeout=1800)
+        assert "suggestion" in out

@@ -1,0 +1,135 @@
+"""Tests for pragma suggestion/generation (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.suggest import PragmaSuggester, Suggestion, agreement
+
+
+class _StubModel:
+    """predict_samples stub returning a fixed answer."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def predict_samples(self, samples):
+        return np.full(len(samples), self.value, dtype=int)
+
+
+def make_suggester(parallel=1, **clauses):
+    defaults = {"reduction": 0, "private": 0, "simd": 0, "target": 0}
+    defaults.update(clauses)
+    return PragmaSuggester(
+        _StubModel(parallel),
+        {k: _StubModel(v) for k, v in defaults.items()},
+    )
+
+
+class TestSuggestLoop:
+    def test_sequential_prediction(self):
+        s = make_suggester(parallel=0).suggest_loop(
+            "for (i = 1; i < n; i++) a[i] = a[i-1];"
+        )
+        assert not s.parallel and s.pragma is None
+        assert "sequential" in s.render()
+
+    def test_reduction_grounded_in_analysis(self):
+        s = make_suggester(parallel=1, reduction=1).suggest_loop(
+            "for (i = 0; i < n; i++) total += a[i];"
+        )
+        assert s.parallel
+        assert "reduction(+:total)" in s.pragma
+
+    def test_product_reduction_operator(self):
+        s = make_suggester(parallel=1, reduction=1).suggest_loop(
+            "for (i = 0; i < n; i++) p *= a[i];"
+        )
+        assert "reduction(*:p)" in s.pragma
+
+    def test_private_variables_listed(self):
+        s = make_suggester(parallel=1, private=1).suggest_loop(
+            "for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }"
+        )
+        assert "private(t)" in s.pragma
+
+    def test_simd_directive(self):
+        s = make_suggester(parallel=1, simd=1).suggest_loop(
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];"
+        )
+        assert "simd" in s.pragma
+
+    def test_target_composite(self):
+        s = make_suggester(parallel=1, target=1).suggest_loop(
+            "for (i = 0; i < n; i++) a[i] = b[i] * c[i];"
+        )
+        assert s.pragma.startswith("#pragma omp target teams distribute")
+
+    def test_plain_parallel_for(self):
+        s = make_suggester(parallel=1).suggest_loop(
+            "for (i = 0; i < n; i++) a[i] = 0;"
+        )
+        assert s.pragma == "#pragma omp parallel for"
+
+    def test_analysis_overrides_missing_reduction_prediction(self):
+        # Even when the clause model says no, a detected accumulator must
+        # be protected by a reduction clause for correctness.
+        s = make_suggester(parallel=1, reduction=0).suggest_loop(
+            "for (i = 0; i < n; i++) total += a[i];"
+        )
+        assert "reduction(+:total)" in s.pragma
+
+    def test_unparseable_loop_is_sequential(self):
+        s = make_suggester().suggest_loop("for (i = 0; i < n;")
+        assert not s.parallel
+        assert "unparseable" in s.rationale
+
+    def test_render_inserts_pragma_above_loop(self):
+        s = make_suggester(parallel=1).suggest_loop(
+            "for (i = 0; i < n; i++) a[i] = 0;"
+        )
+        lines = s.render().splitlines()
+        assert lines[0].startswith("#pragma omp")
+        assert lines[1].startswith("for")
+
+
+class TestSuggestFile:
+    SOURCE = """
+    double a[100], b[100]; double s;
+    void kernel(void) {
+        int i;
+        for (i = 0; i < 100; i++) a[i] = b[i];
+        for (i = 1; i < 100; i++) a[i] = a[i-1];
+    }
+    """
+
+    def test_one_suggestion_per_loop(self):
+        suggester = make_suggester(parallel=1)
+        suggestions = suggester.suggest_file(self.SOURCE)
+        assert len(suggestions) == 2
+
+
+class TestAgreement:
+    def test_matching_reduction(self):
+        a = agreement(
+            "#pragma omp parallel for reduction(+:s)",
+            "#pragma omp parallel for reduction(+:s)",
+        )
+        assert a["both_present"] and a["directive_match"] and a["reduction_match"]
+
+    def test_different_reduction_var(self):
+        a = agreement(
+            "#pragma omp parallel for reduction(+:s)",
+            "#pragma omp parallel for reduction(+:t)",
+        )
+        assert not a["reduction_match"]
+
+    def test_target_mismatch(self):
+        a = agreement(
+            "#pragma omp parallel for",
+            "#pragma omp target parallel for",
+        )
+        assert not a["directive_match"]
+
+    def test_none_pair(self):
+        assert agreement(None, None)["both_present"]
+        assert not agreement(None, "#pragma omp for")["both_present"]

@@ -1,0 +1,168 @@
+"""Tests for metrics and trainers."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import DatasetConfig, generate_omp_serial
+from repro.models import Graph2Par, Graph2ParConfig, PragFormer, PragFormerConfig
+from repro.train import (
+    BinaryMetrics,
+    GraphTrainer,
+    TokenTrainer,
+    TrainConfig,
+    classification_metrics,
+    confusion_counts,
+    prepare_graph_data,
+    prepare_token_data,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        m = BinaryMetrics(tp=10, tn=10, fp=0, fn=0)
+        assert m.precision == m.recall == m.f1 == m.accuracy == 1.0
+
+    def test_zero_division_guards(self):
+        m = BinaryMetrics(tp=0, tn=0, fp=0, fn=0)
+        assert m.precision == m.recall == m.f1 == m.accuracy == 0.0
+
+    def test_known_values(self):
+        # PLUTO row of paper Table 4: TP=1593, FN=2439.
+        m = BinaryMetrics(tp=1593, tn=0, fp=0, fn=2439)
+        assert m.precision == 1.0
+        assert m.recall == pytest.approx(0.3951, abs=1e-3)
+        assert m.f1 == pytest.approx(0.5664, abs=1e-3)
+        assert m.accuracy == pytest.approx(0.3951, abs=1e-3)
+
+    def test_confusion_counts(self):
+        preds = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        m = confusion_counts(preds, labels)
+        assert (m.tp, m.tn, m.fp, m.fn) == (2, 1, 1, 1)
+
+    def test_as_row_keys(self):
+        row = BinaryMetrics(1, 2, 3, 4).as_row()
+        assert set(row) == {"TP", "TN", "FP", "FN", "precision", "recall",
+                            "f1", "accuracy"}
+
+
+class TestClassificationMetrics:
+    def test_perfect_macro(self):
+        preds = labels = np.array([0, 1, 0, 1])
+        m = classification_metrics(preds, labels)
+        assert m["accuracy"] == 1.0 and m["f1"] == 1.0
+
+    def test_all_wrong(self):
+        m = classification_metrics(np.array([1, 0]), np.array([0, 1]))
+        assert m["accuracy"] == 0.0
+
+    def test_macro_average_balances_classes(self):
+        # Majority-class predictor on 3:1 imbalance: high accuracy,
+        # mediocre macro F1.
+        preds = np.array([1, 1, 1, 1])
+        labels = np.array([1, 1, 1, 0])
+        m = classification_metrics(preds, labels)
+        assert m["accuracy"] == 0.75
+        assert m["f1"] < 0.75
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    ds = generate_omp_serial(DatasetConfig(scale=0.008, seed=3))
+    return ds.train_test_split(test_fraction=0.3, seed=3)
+
+
+class TestPrepareData:
+    def test_prepare_graph_shapes(self, tiny_dataset):
+        train, _ = tiny_dataset
+        data, vocab = prepare_graph_data(train[:20])
+        assert len(data) == 20
+        assert vocab.num_types > 3
+
+    def test_prepare_graph_with_existing_vocab(self, tiny_dataset):
+        train, test = tiny_dataset
+        _, vocab = prepare_graph_data(train[:10])
+        data, vocab2 = prepare_graph_data(test[:5], vocab=vocab)
+        assert vocab2 is vocab
+
+    def test_unknown_representation_raises(self, tiny_dataset):
+        train, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            prepare_graph_data(train[:2], representation="nope")
+
+    def test_custom_label_fn(self, tiny_dataset):
+        train, _ = tiny_dataset
+        data, _ = prepare_graph_data(
+            train[:20], label_fn=lambda s: int(s.category == "reduction"),
+        )
+        labels = {g.label for g in data}
+        assert labels <= {0, 1}
+
+    def test_prepare_token_shapes(self, tiny_dataset):
+        train, _ = tiny_dataset
+        ids, mask, labels, vocab = prepare_token_data(train[:16])
+        assert ids.shape == mask.shape
+        assert ids.shape[0] == 16
+        assert labels.shape == (16,)
+
+
+class TestGraphTrainer:
+    def test_loss_decreases(self, tiny_dataset):
+        train, _ = tiny_dataset
+        data, vocab = prepare_graph_data(train[:60])
+        model = Graph2Par(vocab, Graph2ParConfig(dim=32, heads=4, layers=1))
+        trainer = GraphTrainer(model, TrainConfig(epochs=4, batch_size=16))
+        history = trainer.fit(data)
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_predict_length(self, tiny_dataset):
+        train, test = tiny_dataset
+        data, vocab = prepare_graph_data(train[:40])
+        test_data, _ = prepare_graph_data(test[:11], vocab=vocab)
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1))
+        trainer = GraphTrainer(model, TrainConfig(epochs=1))
+        trainer.fit(data)
+        assert len(trainer.predict(test_data)) == 11
+
+    def test_validation_history(self, tiny_dataset):
+        train, test = tiny_dataset
+        data, vocab = prepare_graph_data(train[:40])
+        val, _ = prepare_graph_data(test[:10], vocab=vocab)
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2, layers=1))
+        trainer = GraphTrainer(model, TrainConfig(epochs=2))
+        history = trainer.fit(data, val_data=val)
+        assert "val_accuracy" in history[-1]
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        train, _ = tiny_dataset
+        data, vocab = prepare_graph_data(train[:30])
+
+        def train_once():
+            model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2,
+                                                     layers=1, seed=5,
+                                                     dropout=0.0))
+            t = GraphTrainer(model, TrainConfig(epochs=2, seed=5))
+            t.fit(data)
+            return t.predict(data)
+
+        assert np.array_equal(train_once(), train_once())
+
+
+class TestTokenTrainer:
+    def test_loss_decreases(self, tiny_dataset):
+        train, _ = tiny_dataset
+        ids, mask, labels, vocab = prepare_token_data(train[:60])
+        model = PragFormer(vocab, PragFormerConfig(dim=32, heads=4, layers=1))
+        trainer = TokenTrainer(model, TrainConfig(epochs=4, batch_size=16))
+        history = trainer.fit(ids, mask, labels)
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_evaluate_keys(self, tiny_dataset):
+        train, test = tiny_dataset
+        ids, mask, labels, vocab = prepare_token_data(train[:30])
+        t_ids, t_mask, t_labels, _ = prepare_token_data(test[:10], vocab=vocab)
+        model = PragFormer(vocab, PragFormerConfig(dim=16, heads=2, layers=1))
+        trainer = TokenTrainer(model, TrainConfig(epochs=1))
+        trainer.fit(ids, mask, labels)
+        metrics = trainer.evaluate(t_ids, t_mask, t_labels)
+        assert set(metrics) == {"precision", "recall", "f1", "accuracy"}

@@ -1,0 +1,67 @@
+"""Tests for canonical loop recognition."""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.tools.canonical import recognize_canonical
+
+
+def canon(src):
+    return recognize_canonical(parse_loop(src))
+
+
+class TestRecognised:
+    def test_basic_ascending(self):
+        c = canon("for (i = 0; i < n; i++) s += i;")
+        assert c is not None
+        assert (c.var, c.cmp_op, c.step) == ("i", "<", 1)
+        assert c.ascending and c.unit_stride
+
+    def test_decl_init(self):
+        c = canon("for (int i = 2; i <= m; i++) a[i] = 0;")
+        assert c.var == "i" and c.cmp_op == "<=" and c.lower.value == 2
+
+    def test_descending(self):
+        c = canon("for (i = n; i > 0; i--) a[i] = 0;")
+        assert c.step == -1 and not c.ascending
+
+    def test_strided(self):
+        c = canon("for (i = 0; i < n; i += 4) a[i] = 0;")
+        assert c.step == 4 and not c.unit_stride
+
+    def test_i_equals_i_plus_c(self):
+        c = canon("for (i = 0; i < n; i = i + 3) a[i] = 0;")
+        assert c.step == 3
+
+    def test_reversed_comparison(self):
+        c = canon("for (i = 0; n > i; i++) a[i] = 0;")
+        assert c is not None and c.cmp_op == "<"
+
+    def test_symbolic_step(self):
+        c = canon("for (i = 0; i < n; i += step) v += 2;")
+        assert c is not None and c.step == 0 and c.step_expr is not None
+
+    def test_prefix_increment(self):
+        c = canon("for (i = 0; i < n; ++i) a[i] = 0;")
+        assert c is not None and c.step == 1
+
+    def test_missing_init_external_var(self):
+        c = canon("for (; i < n; i++) a[i] = 0;")
+        assert c is not None and c.lower is None
+
+
+class TestRejected:
+    @pytest.mark.parametrize("src", [
+        "while (i < n) i++;",
+        "do i++; while (i < n);",
+        "for (;;) x++;",                               # no condition
+        "for (i = 0; i != n; i++) a[i] = 0;",          # != comparison
+        "for (i = 0; i < n; i *= 2) a[i] = 0;",        # multiplicative step
+        "for (i = 0; i < n; i++) { if (a[i]) break; }",  # break
+        "for (i = 0; i < n; i++) { i += 2; }",         # writes loop var
+        "for (i = 0; i < n; i++) { if (x) return; }",  # return
+        "for (i = 0; i < n; j++) a[j] = 0;",           # inc of other var
+        "for (i = 0; i > n; i++) a[i] = 0;",           # diverging
+    ])
+    def test_non_canonical(self, src):
+        assert canon(src) is None

@@ -1,0 +1,204 @@
+"""Tests for the static dependence analysis."""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.tools.access import collect_accesses
+from repro.tools.deps import analyze_loop
+
+
+def deps(src):
+    return analyze_loop(parse_loop(src))
+
+
+class TestAccessCollection:
+    def test_read_write_classification(self):
+        loop = parse_loop("for (i = 0; i < n; i++) a[i] = b[i] + c;")
+        summary = collect_accesses(loop.body)
+        assert {a.base for a in summary.writes()} == {"a"}
+        assert {"b", "c", "i"} <= {a.base for a in summary.reads()}
+
+    def test_compound_assign_reads_and_writes(self):
+        loop = parse_loop("for (i = 0; i < n; i++) s += a[i];")
+        summary = collect_accesses(loop.body)
+        assert len(summary.writes("s")) == 1
+        assert len(summary.reads("s")) == 1
+
+    def test_incdec_reads_and_writes(self):
+        loop = parse_loop("for (i = 0; i < n; i++) counter++;")
+        summary = collect_accesses(loop.body)
+        assert len(summary.writes("counter")) == 1
+        assert len(summary.reads("counter")) == 1
+
+    def test_subscripts_recorded(self):
+        loop = parse_loop("for (i = 0; i < n; i++) a[i][j] = 0;")
+        summary = collect_accesses(loop.body)
+        w = summary.writes("a")[0]
+        assert len(w.subscripts) == 2
+
+    def test_member_arrow_inexact(self):
+        loop = parse_loop("for (i = 0; i < n; i++) p->x = i;")
+        summary = collect_accesses(loop.body)
+        assert not summary.writes("p")[0].exact
+
+    def test_pointer_deref_inexact(self):
+        loop = parse_loop("for (i = 0; i < n; i++) *p = i;")
+        summary = collect_accesses(loop.body)
+        assert not summary.writes("p")[0].exact
+
+    def test_calls_recorded(self):
+        loop = parse_loop("for (i = 0; i < n; i++) a[i] = f(b[i]);")
+        summary = collect_accesses(loop.body)
+        assert summary.has_calls
+
+    def test_address_of_arg_is_unknown_write(self):
+        loop = parse_loop("for (i = 0; i < n; i++) update(&x);")
+        summary = collect_accesses(loop.body)
+        assert any(a.is_write and a.base == "x" for a in summary.accesses)
+
+    def test_local_decl_tracked(self):
+        loop = parse_loop("for (i = 0; i < n; i++) { int t = a[i]; b[i] = t; }")
+        summary = collect_accesses(loop.body)
+        assert "t" in summary.local_decls
+
+    def test_conditional_flag(self):
+        loop = parse_loop("for (i = 0; i < n; i++) { if (a[i]) t = 1; }")
+        summary = collect_accesses(loop.body)
+        assert summary.writes("t")[0].conditional
+
+    def test_inner_loop_detected(self):
+        loop = parse_loop(
+            "for (i = 0; i < n; i++) for (j = 0; j < n; j++) s += 1;"
+        )
+        summary = collect_accesses(loop.body)
+        assert summary.has_inner_loop
+
+
+class TestScalarClassification:
+    def test_single_statement_reduction(self):
+        d = deps("for (i = 0; i < n; i++) s += a[i];")
+        assert [r.var for r in d.reductions] == ["s"]
+        assert d.reductions[0].op == "+"
+
+    def test_expanded_reduction_form(self):
+        d = deps("for (i = 0; i < n; i++) s = s + a[i];")
+        assert [r.var for r in d.reductions] == ["s"]
+
+    def test_commuted_reduction_form(self):
+        d = deps("for (i = 0; i < n; i++) s = a[i] + s;")
+        assert [r.var for r in d.reductions] == ["s"]
+
+    def test_product_reduction(self):
+        d = deps("for (i = 0; i < n; i++) p *= a[i];")
+        assert d.reductions[0].op == "*"
+
+    def test_counting_reduction(self):
+        d = deps("for (i = 0; i < n; i++) count++;")
+        assert [r.var for r in d.reductions] == ["count"]
+
+    def test_multi_statement_reduction_listing4(self):
+        d = deps("for (int i = 0; i < N; i += step) { v += 2; v = v + step; }")
+        assert [r.var for r in d.reductions] == ["v"]
+        assert d.reductions[0].statements == 2
+
+    def test_mixed_op_updates_not_reduction(self):
+        d = deps("for (i = 0; i < n; i++) { s += a[i]; s *= 2; }")
+        assert not d.reductions
+        assert "s" in d.shared_scalar_writes
+
+    def test_reduction_var_also_read_elsewhere_disqualified(self):
+        d = deps("for (i = 0; i < n; i++) { s += a[i]; b[i] = s; }")
+        assert not d.reductions
+        assert "s" in d.shared_scalar_writes
+
+    def test_minus_maps_to_plus_family(self):
+        d = deps("for (i = 0; i < n; i++) s -= a[i];")
+        assert d.reductions and d.reductions[0].op == "+"
+
+    def test_local_decl_private(self):
+        d = deps("for (i = 0; i < n; i++) { int t = a[i] * 2; b[i] = t; }")
+        assert "t" in d.privatizable
+
+    def test_write_first_scalar_private(self):
+        d = deps("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }")
+        assert "t" in d.privatizable
+
+    def test_read_first_scalar_shared(self):
+        d = deps("for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }")
+        assert "t" in d.shared_scalar_writes
+
+    def test_conditional_write_not_private(self):
+        d = deps("for (i = 0; i < n; i++) { if (a[i]) t = 1; b[i] = t; }")
+        assert "t" in d.shared_scalar_writes
+
+    def test_loop_var_not_classified(self):
+        d = deps("for (i = 0; i < n; i++) a[i] = i;")
+        assert "i" not in d.privatizable
+        assert "i" not in d.shared_scalar_writes
+
+
+class TestArrayDependence:
+    def test_elementwise_no_dep(self):
+        d = deps("for (i = 0; i < n; i++) a[i] = b[i] + 1;")
+        assert not d.array_deps
+
+    def test_flow_dependence(self):
+        d = deps("for (i = 1; i < n; i++) a[i] = a[i-1] + 1;")
+        assert any(dep.base == "a" for dep in d.array_deps)
+
+    def test_anti_dependence(self):
+        d = deps("for (i = 0; i < n; i++) a[i] = a[i+1];")
+        assert any(dep.base == "a" for dep in d.array_deps)
+
+    def test_same_cell_output_dependence(self):
+        d = deps("for (i = 0; i < n; i++) a[0] = i;")
+        assert any(dep.kind == "output" for dep in d.array_deps)
+
+    def test_even_odd_writes_independent(self):
+        d = deps("for (i = 0; i < n; i++) a[2*i] = a[2*i+1];")
+        assert not d.array_deps
+
+    def test_read_only_array_no_dep(self):
+        d = deps("for (i = 0; i < n; i++) s += a[i] + a[i+1];")
+        assert not d.array_deps  # a never written
+
+    def test_multidim_independent_in_one_dim(self):
+        d = deps("for (i = 0; i < n; i++) a[i][0] = a[i][1] + 1;")
+        assert not d.array_deps
+
+    def test_multidim_dependent(self):
+        d = deps("for (i = 1; i < n; i++) a[i][0] = a[i-1][0];")
+        assert d.array_deps
+
+    def test_nonaffine_subscript_flagged(self):
+        d = deps("for (i = 0; i < n; i++) a[b[i]] = i;")
+        assert d.non_affine
+
+    def test_symbolic_offset_same_both_sides(self):
+        d = deps("for (i = 0; i < n; i++) a[i + off] = b[i];")
+        assert not d.array_deps
+
+    def test_inner_loop_var_subscript(self):
+        d = deps(
+            "for (i = 0; i < n; i++) "
+            "for (j = 0; j < m; j++) a[i][j] = b[i][j];"
+        )
+        assert not d.array_deps
+
+
+class TestIsDoall:
+    def test_clean_doall(self):
+        assert deps("for (i = 0; i < n; i++) a[i] = b[i];").is_doall()
+
+    def test_reduction_needs_flag(self):
+        d = deps("for (i = 0; i < n; i++) s += a[i];")
+        assert not d.is_doall()
+        assert d.is_doall(allow_reductions=True)
+
+    def test_calls_block_by_default(self):
+        d = deps("for (i = 0; i < n; i++) a[i] = f(i);")
+        assert not d.is_doall()
+        assert d.is_doall(assume_calls_pure=True)
+
+    def test_non_canonical_never_doall(self):
+        assert not deps("while (x > 0) x--;").is_doall()

@@ -1,0 +1,132 @@
+"""Tests for the mini C interpreter."""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.tools.interp import (
+    ExecutionBudgetExceeded,
+    Interpreter,
+    UnsupportedConstruct,
+)
+
+
+def run(src, **kwargs):
+    interp = Interpreter(**kwargs)
+    loop = parse_loop(src)
+    trace = interp.run_loop(loop)
+    return interp, trace
+
+
+class TestExecution:
+    def test_simple_loop_runs_all_iterations(self):
+        interp, trace = run("for (i = 0; i < 5; i++) a[i] = i;")
+        assert trace.iterations == 5
+        base, _ = interp.memory.bases["a"]
+        assert [interp.memory.read(base + k) for k in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_literal_bound_capped_at_max_trip(self):
+        _, trace = run("for (i = 0; i < 30000000; i++) s += i;", max_trip=8)
+        assert trace.iterations == 8
+
+    def test_symbolic_bound_bound_to_max_trip(self):
+        _, trace = run("for (i = 0; i < n; i++) s += i;", max_trip=6)
+        assert trace.iterations == 6
+
+    def test_reduction_value_correct(self):
+        interp, trace = run("for (i = 0; i < 5; i++) s = s + i;")
+        base, _ = interp.memory.bases["s"]
+        # s starts at its synthesized value; the loop adds 0+1+2+3+4 = 10
+        assert trace.iterations == 5
+
+    def test_while_loop(self):
+        interp, trace = run("while (k < 3) k++;")
+        assert trace.iterations >= 1
+
+    def test_do_while(self):
+        _, trace = run("do x--; while (x > 0);")
+        assert trace.iterations >= 1
+
+    def test_nested_loop_inner_not_traced(self):
+        _, trace = run(
+            "for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) a[i][j] = 0;"
+        )
+        # Only outer-loop iterations are traced.
+        assert trace.iterations == 3
+
+    def test_if_else_branches(self):
+        interp, trace = run(
+            "for (i = 0; i < 4; i++) { if (i % 2 == 0) a[i] = 1; else a[i] = 2; }"
+        )
+        base, _ = interp.memory.bases["a"]
+        assert [interp.memory.read(base + k) for k in range(4)] == [1, 2, 1, 2]
+
+    def test_break_stops_loop(self):
+        _, trace = run("for (i = 0; i < 10; i++) { if (i == 2) break; a[i] = i; }")
+        assert trace.iterations == 3
+
+    def test_continue_skips(self):
+        interp, _ = run(
+            "for (i = 0; i < 4; i++) { if (i == 1) continue; a[i] = 9; }"
+        )
+        base, _ = interp.memory.bases["a"]
+        assert interp.memory.read(base + 1) != 9
+
+    def test_math_whitelist(self):
+        interp, _ = run("for (i = 0; i < 3; i++) b[i] = fabs(a[i]);")
+        base, _ = interp.memory.bases["b"]
+        assert all(interp.memory.read(base + k) >= 0 for k in range(3))
+
+    def test_ternary(self):
+        interp, _ = run("for (i = 0; i < 3; i++) a[i] = i > 1 ? 5 : 7;")
+        base, _ = interp.memory.bases["a"]
+        assert interp.memory.read(base + 0) == 7
+        assert interp.memory.read(base + 2) == 5
+
+    def test_local_array_decl(self):
+        _, trace = run("for (i = 0; i < 3; i++) { int t[4]; t[0] = i; }")
+        assert trace.iterations == 3
+
+
+class TestTracing:
+    def test_events_tag_iterations(self):
+        _, trace = run("for (i = 0; i < 3; i++) a[i] = b[i];")
+        iters = {e.iteration for e in trace.events}
+        assert iters == {0, 1, 2}
+
+    def test_reads_and_writes_distinguished(self):
+        _, trace = run("for (i = 0; i < 3; i++) a[i] = b[i];")
+        a_events = [e for e in trace.events if e.base == "a"]
+        b_events = [e for e in trace.events if e.base == "b"]
+        assert all(e.is_write for e in a_events)
+        assert all(not e.is_write for e in b_events)
+
+    def test_distinct_cells_distinct_addresses(self):
+        _, trace = run("for (i = 0; i < 4; i++) a[i] = 0;")
+        addrs = {e.address for e in trace.events if e.base == "a"}
+        assert len(addrs) == 4
+
+    def test_same_cell_same_address(self):
+        _, trace = run("for (i = 0; i < 4; i++) s += a[i];")
+        s_addrs = {e.address for e in trace.events if e.base == "s"}
+        assert len(s_addrs) == 1
+
+    def test_scalar_bases_recorded(self):
+        _, trace = run("for (i = 0; i < 3; i++) s += a[i];")
+        assert "s" in trace.scalar_bases
+        assert "a" not in trace.scalar_bases
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize("src", [
+        "for (i = 0; i < n; i++) a[i] = mystery(i);",      # unknown call
+        "for (i = 0; i < n; i++) *p = i;",                  # pointer deref
+        "for (i = 0; i < n; i++) s += p->v;",               # member access
+        "for (i = 0; i < n; i++) { goto done; }\ndone: ;",  # goto
+    ])
+    def test_raises_unsupported(self, src):
+        with pytest.raises(UnsupportedConstruct):
+            run(src)
+
+    def test_budget_exceeded(self):
+        with pytest.raises(ExecutionBudgetExceeded):
+            run("for (i = 0; i < 5; i++) while (1) x++;", max_steps=2000)

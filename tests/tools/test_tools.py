@@ -1,0 +1,205 @@
+"""Behavioural tests for the three comparator tools.
+
+Each test pins a decision the paper attributes to the real tool:
+zero false positives, the coverage gates, and the characteristic misses
+(Listings 1–8, Figure 2 categories).
+"""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.tools import AutoPar, DiscoPoP, Pluto, ToolVerdict, make_tool
+
+LISTING1 = "for (i = 0; i < 30000000; i++) error = error + fabs(a[i] - a[i+1]);"
+LISTING4 = "for (int i = 0; i < N; i += step) { v += 2; v = v + step; }"
+LISTING5 = (
+    "for (j = 0; j < 4; j++) for (i = 0; i < 5; i++) "
+    "for (k = 0; k < 6; k += 2) l++;"
+)
+LISTING8 = (
+    "for (i = 0; i < 12; i++) for (j = 0; j < 12; j++) "
+    "for (k = 0; k < 12; k++) { tmp1 = 6.0 / m; a[i][j][k] = tmp1 + 4; }"
+)
+
+DOALL = "for (i = 0; i < n; i++) a[i] = b[i] * 2;"
+REDUCTION = "for (i = 0; i < n; i++) s += a[i];"
+TRUE_DEP = "for (i = 1; i < n; i++) a[i] = a[i-1] + 1;"
+SAME_CELL = "for (i = 0; i < n; i++) a[0] = i;"
+
+#: clearly sequential loops no sound tool may mark parallel
+NEGATIVE_LOOPS = [
+    TRUE_DEP,
+    SAME_CELL,
+    "for (i = 2; i < n; i++) f[i] = f[i-1] + f[i-2];",   # fibonacci
+    "for (i = 0; i < n; i++) { s = s * a[i] + b[i]; }",  # polynomial eval
+    "while (p > 0) p--;",
+]
+
+
+def verdicts(src):
+    loop = parse_loop(src)
+    return {
+        name: make_tool(name).analyze_loop(loop)
+        for name in ("pluto", "autopar", "discopop")
+    }
+
+
+class TestZeroFalsePositives:
+    """Table 4: the tools report FP = 0; soundness is their contract."""
+
+    @pytest.mark.parametrize("src", NEGATIVE_LOOPS)
+    def test_no_tool_claims_parallel(self, src):
+        for name, result in verdicts(src).items():
+            assert not result.parallel, f"{name} false positive on: {src}"
+
+
+class TestCommonDetections:
+    def test_all_find_simple_doall(self):
+        for name, result in verdicts(DOALL).items():
+            assert result.parallel, f"{name} missed a trivial do-all"
+
+    def test_strided_doall(self):
+        for name, result in verdicts(
+            "for (i = 0; i < n; i += 2) a[i] = b[i];"
+        ).items():
+            assert result.parallel, name
+
+
+class TestPluto:
+    def test_misses_reductions(self):
+        r = Pluto().analyze_loop(parse_loop(REDUCTION))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+
+    def test_rejects_calls_as_unprocessable(self):
+        r = Pluto().analyze_loop(parse_loop(LISTING1))
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+        assert "call" in r.reason
+
+    def test_rejects_conditionals(self):
+        r = Pluto().analyze_loop(
+            parse_loop("for (i = 0; i < n; i++) { if (b[i]) a[i] = 0; }")
+        )
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+    def test_rejects_while(self):
+        r = Pluto().analyze_loop(parse_loop("while (x) x--;"))
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+    def test_handles_affine_nest(self):
+        r = Pluto().analyze_loop(
+            parse_loop(
+                "for (i = 0; i < n; i++) for (j = 0; j < m; j++) "
+                "a[i][j] = b[i][j];"
+            )
+        )
+        assert r.parallel
+
+    def test_listing8_unprocessable_division(self):
+        r = Pluto().analyze_loop(parse_loop(LISTING8))
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+
+class TestAutoPar:
+    def test_detects_reduction_with_clause(self):
+        r = AutoPar().analyze_loop(parse_loop(REDUCTION))
+        assert r.parallel and "reduction" in r.patterns
+
+    def test_detects_private(self):
+        r = AutoPar().analyze_loop(
+            parse_loop("for (i = 0; i < n; i++) { t = a[i]; b[i] = t * t; }")
+        )
+        assert r.parallel and "private" in r.patterns
+
+    def test_call_blocks_parallelism_listing3_style(self):
+        r = AutoPar().analyze_loop(
+            parse_loop("for (int i = 0; i < size; i++) v[i] = square(v[i]);")
+        )
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+        assert "call" in r.reason
+
+    def test_multi_statement_reduction_missed_listing4(self):
+        r = AutoPar().analyze_loop(parse_loop(LISTING4))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+
+    def test_finds_nested_counting_listing5(self):
+        r = AutoPar().analyze_loop(parse_loop(LISTING5))
+        assert r.parallel and "reduction" in r.patterns
+
+    def test_while_unprocessable(self):
+        r = AutoPar().analyze_loop(parse_loop("while (x) x--;"))
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+
+class TestDiscoPoP:
+    def test_detects_dynamic_reduction(self):
+        r = DiscoPoP().analyze_loop(parse_loop(REDUCTION))
+        assert r.parallel and "reduction" in r.patterns
+
+    def test_reduction_with_call_missed_listing1(self):
+        r = DiscoPoP().analyze_loop(parse_loop(LISTING1))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+
+    def test_multi_statement_reduction_missed_listing4(self):
+        r = DiscoPoP().analyze_loop(parse_loop(LISTING4))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+
+    def test_outer_nest_missed_listing5(self):
+        r = DiscoPoP().analyze_loop(parse_loop(LISTING5))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+        assert "nest" in r.reason
+
+    def test_unknown_call_unprocessable(self):
+        r = DiscoPoP().analyze_loop(
+            parse_loop("for (i = 0; i < n; i++) a[i] = helper(i);")
+        )
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+    def test_pointer_unprocessable(self):
+        r = DiscoPoP().analyze_loop(parse_loop("for (i = 0; i < n; i++) *p += 1;"))
+        assert r.verdict is ToolVerdict.UNPROCESSABLE
+
+    def test_dynamic_private_scalar_ok(self):
+        r = DiscoPoP().analyze_loop(
+            parse_loop("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }")
+        )
+        assert r.parallel
+
+    def test_array_cell_waw_not_private(self):
+        r = DiscoPoP().analyze_loop(parse_loop(SAME_CELL))
+        assert r.verdict is ToolVerdict.NOT_PARALLEL
+
+
+class TestFileGates:
+    """§2 coverage: file-level applicability differs per toolchain."""
+
+    def test_discopop_needs_runnable_program(self):
+        meta_lib = {"compiles": True, "has_main": False, "external_calls": False}
+        meta_app = {"compiles": True, "has_main": True, "external_calls": False}
+        assert not DiscoPoP().can_process_file(meta_lib)
+        assert DiscoPoP().can_process_file(meta_app)
+
+    def test_discopop_rejects_external_calls(self):
+        meta = {"compiles": True, "has_main": True, "external_calls": True}
+        assert not DiscoPoP().can_process_file(meta)
+
+    def test_autopar_rejects_nonstandard_headers(self):
+        assert not AutoPar().can_process_file(
+            {"compiles": True, "uses_nonstandard_headers": True}
+        )
+
+    def test_pluto_needs_only_parseable_source(self):
+        assert Pluto().can_process_file({"compiles": True, "has_main": False})
+
+    def test_nothing_processes_uncompilable_files(self):
+        for name in ("pluto", "autopar", "discopop"):
+            assert not make_tool(name).can_process_file({"compiles": False})
+
+
+class TestMakeTool:
+    def test_known_names(self):
+        assert make_tool("pluto").name == "pluto"
+        assert make_tool("AutoPar").name == "autopar"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_tool("polly")
