@@ -9,6 +9,10 @@ Run with:  pytest benchmarks/ --benchmark-only
 Override profile: pytest benchmarks/ --repro-profile=standard
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.eval.config import ExperimentConfig
@@ -38,3 +42,19 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an expensive experiment with a single measured round."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_artifact(name: str, payload: dict) -> Path:
+    """Record a ``BENCH_<name>.json`` perf-trajectory artifact.
+
+    CI uploads every ``BENCH_*.json`` per run so the numbers are
+    comparable across PRs.  ``REPRO_BENCH_DIR`` overrides the output
+    directory (default: the repo root).
+    """
+    out_dir = Path(os.environ.get(
+        "REPRO_BENCH_DIR", Path(__file__).resolve().parent.parent,
+    ))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

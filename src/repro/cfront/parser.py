@@ -115,11 +115,18 @@ class Parser:
     # -- token helpers -------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:
-        i = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[i]
+        # Hottest function of the frontend: index directly and let the
+        # (rare) past-the-end case fall back to the EOF sentinel.
+        try:
+            return self.tokens[self.pos + offset]
+        except IndexError:
+            return self.tokens[-1]
 
     def _next(self) -> Token:
-        tok = self._peek()
+        try:
+            tok = self.tokens[self.pos]
+        except IndexError:
+            tok = self.tokens[-1]
         if tok.kind is not TokenKind.EOF:
             self.pos += 1
         return tok

@@ -53,7 +53,7 @@ COMPOUND_ASSIGN_OPS = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """A single lexed token.
 

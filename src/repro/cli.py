@@ -3,12 +3,17 @@
 ``repro-dataset``  generate OMP_Serial and write it as jsonl (+ stats)
 ``repro-train``    train Graph2Par / PragFormer / the GCN ablation
 ``repro-eval``     regenerate the paper's tables and figures
+
+``repro <command>`` bundles them, plus ``repro suggest-dir`` — the
+batched suggestion service over a whole directory of C files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 
 def dataset_main(argv: list[str] | None = None) -> int:
@@ -104,5 +109,109 @@ def eval_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def suggest_dir_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro suggest-dir",
+        description="Suggest complete OpenMP pragmas for every loop of "
+                    "every C file under a directory (batched serving).",
+    )
+    parser.add_argument("directory", help="directory of C files")
+    parser.add_argument("--pattern", default="*.c",
+                        help="glob for source files (default: *.c)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parse-stage worker processes (1 = in-process)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="graphs per forward pass")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="training-set scale for the on-the-fly models")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--out", default=None,
+                        help="write suggestions to this JSON file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-loop output")
+    args = parser.parse_args(argv)
+
+    from repro.eval.config import ExperimentConfig
+    from repro.eval.context import get_context
+    from repro.serve import ServeConfig, build_service
+
+    ctx = get_context(ExperimentConfig(
+        scale=args.scale, seed=args.seed, epochs=args.epochs, dim=args.dim,
+    ))
+    service = build_service(ctx, ServeConfig(
+        workers=args.workers, batch_size=args.batch_size,
+    ))
+    start = time.perf_counter()
+    results = service.suggest_dir(args.directory, pattern=args.pattern)
+    elapsed = time.perf_counter() - start
+    if not results:
+        print(f"no files matching {args.pattern!r} under {args.directory}")
+        return 1
+
+    n_loops = sum(len(r.suggestions) for r in results)
+    n_parallel = sum(r.n_parallel for r in results)
+    n_errors = sum(1 for r in results if r.error)
+    for r in results:
+        if r.error:
+            print(f"{r.name}: SKIPPED ({r.error})")
+            continue
+        print(f"{r.name}: {len(r.suggestions)} loops, "
+              f"{r.n_parallel} parallelizable")
+        if not args.quiet:
+            for s in r.suggestions:
+                print("  " + (s.pragma if s.parallel
+                              else f"// sequential: {s.rationale}"))
+    rate = n_loops / elapsed if elapsed > 0 else float("inf")
+    print(f"{n_loops} loops across {len(results)} files "
+          f"({n_errors} unparseable) in {elapsed:.2f}s "
+          f"({rate:.0f} loops/s)")
+    if args.out:
+        payload = [
+            {
+                "file": r.name,
+                "error": r.error,
+                "suggestions": [
+                    {
+                        "loop_source": s.loop_source,
+                        "parallel": s.parallel,
+                        "pragma": s.pragma,
+                        "clause_families": s.clause_families,
+                        "rationale": s.rationale,
+                    }
+                    for s in r.suggestions
+                ],
+            }
+            for r in results
+        ]
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"suggestions written to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "dataset": dataset_main,
+    "train": train_main,
+    "eval": eval_main,
+    "suggest-dir": suggest_dir_main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The ``repro`` umbrella command."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    usage = f"usage: repro {{{','.join(_COMMANDS)}}} [options]"
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0 if argv else 2
+    command = argv[0]
+    if command not in _COMMANDS:
+        print(f"unknown command {command!r}\n{usage}", file=sys.stderr)
+        return 2
+    return _COMMANDS[command](argv[1:])
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(eval_main())
+    sys.exit(main())

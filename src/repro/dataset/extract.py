@@ -9,9 +9,8 @@ nest as one (outer) loop with ``Nested Loops`` set.
 
 from __future__ import annotations
 
-from repro.cfront import ParseError, parse_source, unparse
-from repro.cfront.lexer import LexError
-from repro.cfront.nodes import LOOP_KINDS, Stmt, TranslationUnit
+from repro.cfront import parse_source, unparse
+from repro.cfront.nodes import LOOP_KINDS, Stmt
 from repro.cfront.unparse import loc_of
 from repro.dataset.sample import LoopSample
 from repro.pragma import loop_label
@@ -33,6 +32,72 @@ def _outermost_loops(root) -> list[Stmt]:
     return out
 
 
+def _function_loop_samples(
+    fn,
+    origin: str = "github",
+    file_id: int = -1,
+    file_meta: dict | None = None,
+) -> list[LoopSample]:
+    """One labelled sample per outermost loop of one function body."""
+    pointer_params = sorted(
+        p.name for p in fn.params if p.var_type.pointers > 0
+    )
+    samples: list[LoopSample] = []
+    for loop in _outermost_loops(fn.body):
+        parallel, category = loop_label(loop.pragmas)
+        pragma = loop.pragmas[0] if loop.pragmas else None
+        # Re-emit the loop without its pragma: models must not see it.
+        saved = loop.pragmas
+        loop.pragmas = []
+        loop_src = unparse(loop)
+        loc = loc_of(loop)
+        loop.pragmas = saved
+        summary = collect_accesses(getattr(loop, "body", loop))
+        # One walk collects every name; checking each pointer param with
+        # its own walk made extraction quadratic in parameter count.
+        names_in_loop = {
+            name for n in loop.walk()
+            if (name := getattr(n, "name", None)) is not None
+        }
+        samples.append(LoopSample(
+            source=loop_src,
+            parallel=parallel,
+            category=category,
+            pragma=pragma,
+            origin=origin,
+            has_call=summary.has_calls,
+            nested=summary.has_inner_loop,
+            loc=loc,
+            file_id=file_id,
+            file_meta=dict(file_meta or {}),
+            pointer_arrays=[
+                name for name in pointer_params if name in names_in_loop
+            ],
+        ))
+    return samples
+
+
+def extract_loops_by_function(
+    source: str,
+    origin: str = "github",
+    file_id: int = -1,
+    file_meta: dict | None = None,
+):
+    """Per-function loop extraction: ``[(function, samples), ...]``.
+
+    Grouping by function keeps file-level analyses (liveness for
+    ``lastprivate``) aligned with their loops even when one function
+    misbehaves — consumers can fall back per function instead of
+    dropping context for the whole file.
+    """
+    tu = parse_source(source)
+    return [
+        (fn, _function_loop_samples(fn, origin, file_id, file_meta))
+        for fn in tu.functions()
+        if fn.body is not None
+    ]
+
+
 def extract_loops_from_source(
     source: str,
     origin: str = "github",
@@ -45,41 +110,10 @@ def extract_loops_from_source(
     "compile" — callers drop such files, like the paper dropped the
     10 269 files Clang rejected.
     """
-    tu = parse_source(source)
-    samples: list[LoopSample] = []
-    for fn in tu.functions():
-        if fn.body is None:
-            continue
-        pointer_params = sorted(
-            p.name for p in fn.params if p.var_type.pointers > 0
+    return [
+        sample
+        for _, samples in extract_loops_by_function(
+            source, origin=origin, file_id=file_id, file_meta=file_meta,
         )
-        for loop in _outermost_loops(fn.body):
-            parallel, category = loop_label(loop.pragmas)
-            pragma = loop.pragmas[0] if loop.pragmas else None
-            # Re-emit the loop without its pragma: models must not see it.
-            saved = loop.pragmas
-            loop.pragmas = []
-            loop_src = unparse(loop)
-            loc = loc_of(loop)
-            loop.pragmas = saved
-            summary = collect_accesses(getattr(loop, "body", loop))
-            samples.append(LoopSample(
-                source=loop_src,
-                parallel=parallel,
-                category=category,
-                pragma=pragma,
-                origin=origin,
-                has_call=summary.has_calls,
-                nested=summary.has_inner_loop,
-                loc=loc,
-                file_id=file_id,
-                file_meta=dict(file_meta or {}),
-                pointer_arrays=[
-                    name for name in pointer_params
-                    if any(
-                        getattr(n, "name", None) == name
-                        for n in loop.walk()
-                    )
-                ],
-            ))
-    return samples
+        for sample in samples
+    ]

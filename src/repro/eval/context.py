@@ -8,7 +8,7 @@ within a process (pytest-benchmark runs every bench in one process).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -49,12 +49,69 @@ class TrainedGraphModel:
     representation: str
     task: str
 
-    def predict_samples(self, samples: list[LoopSample]) -> np.ndarray:
+    def predict_samples(self, samples: list[LoopSample],
+                        cache=None) -> np.ndarray:
+        """Batched predictions; ``cache`` optionally reuses encodings."""
         data, _ = prepare_graph_data(
             samples, representation=self.representation, vocab=self.vocab,
-            label_fn=LABEL_FNS[self.task],
+            label_fn=LABEL_FNS[self.task], cache=cache,
         )
         return self.trainer.predict(data)
+
+    def predict_encoded(self, graphs: list,
+                        batch_size: int | None = None,
+                        collate_cache: dict | None = None) -> np.ndarray:
+        """Predictions over pre-encoded graphs (the serving hot path).
+
+        Skips parse/graph-build/encode entirely: one block-diagonal
+        collate + forward per ``batch_size`` chunk.  ``collate_cache``
+        (keyed by the chunk's graph identities) lets several models
+        over the same workload share the collated batches.
+        """
+        from repro.graphs import collate
+        from repro.nn import functional as F
+        from repro.nn.tensor import no_grad
+
+        if collate_cache is None:
+            return self.trainer.predict(graphs, batch_size=batch_size)
+        bs = batch_size or self.trainer.config.batch_size
+        model = self.trainer.model
+        model.eval()
+        preds = []
+        with no_grad():
+            for start in range(0, len(graphs), bs):
+                chunk = graphs[start: start + bs]
+                key = tuple(id(g) for g in chunk)
+                # The entry pins the chunk's graphs alive alongside the
+                # batch: id() keys are only valid while the objects are,
+                # and encode-cache eviction could otherwise free them
+                # mid-workload and recycle the addresses.
+                entry = collate_cache.get(key)
+                if entry is None:
+                    entry = collate_cache[key] = (chunk, collate(chunk))
+                preds.append(F.predict_classes(model(entry[1])))
+        return np.concatenate(preds) if preds else np.zeros(0, dtype=int)
+
+    def encode_cache(self, max_entries: int = 4096):
+        """A fresh :class:`~repro.graphs.encode.EncodeCache` for this
+        model's vocab/representation."""
+        from repro.graphs.encode import EncodeCache
+
+        return EncodeCache(self.vocab, representation=self.representation,
+                           max_entries=max_entries)
+
+    def encoder_key(self) -> tuple:
+        """Hashable identity of (representation, vocab content).
+
+        Models trained separately on the same data build equal vocabs;
+        the serve pipeline uses this key to share one encode pass across
+        all models that agree on it.
+        """
+        return (
+            self.representation,
+            tuple(sorted(self.vocab.types.tokens.items())),
+            tuple(sorted(self.vocab.texts.tokens.items())),
+        )
 
     def evaluate_samples(self, samples: list[LoopSample]) -> dict:
         data, _ = prepare_graph_data(

@@ -8,7 +8,14 @@ HGT consumes).
 from repro.graphs.hetgraph import EdgeType, HetGraph, NODE_POSITIONS, RELATIONS
 from repro.graphs.augast import build_aug_ast, build_vanilla_ast
 from repro.graphs.vocab import Vocab, GraphVocab, build_graph_vocab
-from repro.graphs.encode import EncodedGraph, GraphBatch, encode_graph, collate
+from repro.graphs.encode import (
+    EncodeCache,
+    EncodedGraph,
+    GraphBatch,
+    REPRESENTATION_BUILDERS,
+    collate,
+    encode_graph,
+)
 
 __all__ = [
     "HetGraph",
@@ -20,8 +27,10 @@ __all__ = [
     "Vocab",
     "GraphVocab",
     "build_graph_vocab",
+    "EncodeCache",
     "EncodedGraph",
     "GraphBatch",
+    "REPRESENTATION_BUILDERS",
     "encode_graph",
     "collate",
 ]

@@ -8,12 +8,23 @@ PyG-style block-diagonal batching, rebuilt on numpy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.graphs.augast import build_aug_ast, build_vanilla_ast
 from repro.graphs.hetgraph import EdgeType, HetGraph, RELATIONS
 from repro.graphs.vocab import GraphVocab
+
+#: graph builder per representation name (shared by trainers and caches)
+REPRESENTATION_BUILDERS = {
+    "aug": lambda loop: build_aug_ast(loop),
+    "vanilla": lambda loop: build_vanilla_ast(loop),
+    "aug-nocfg": lambda loop: build_aug_ast(loop, with_cfg=False),
+    "aug-nolex": lambda loop: build_aug_ast(loop, with_lexical=False),
+}
 
 
 @dataclass
@@ -65,12 +76,79 @@ def encode_graph(graph: HetGraph, vocab: GraphVocab, label: int = 0) -> EncodedG
     )
 
 
+class EncodeCache:
+    """LRU memo of loop-source → :class:`EncodedGraph` for one vocab.
+
+    Serving a corpus re-encodes the same loop once per model unless the
+    encodings are shared; this cache keys on the SHA-1 of the loop source
+    (plus the representation it was built with) so each distinct loop is
+    parsed, graph-built and integer-encoded exactly once per vocabulary.
+
+    Cached graphs carry ``label == 0``; callers needing labels should
+    :func:`dataclasses.replace` the returned graph (the integer arrays
+    are shared, the dataclass shell is cheap).
+    """
+
+    def __init__(self, vocab: GraphVocab, representation: str = "aug",
+                 max_entries: int = 4096) -> None:
+        if representation not in REPRESENTATION_BUILDERS:
+            raise ValueError(
+                f"unknown representation {representation!r}; "
+                f"choose from {sorted(REPRESENTATION_BUILDERS)}"
+            )
+        self.vocab = vocab
+        self.representation = representation
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[str, EncodedGraph] = OrderedDict()
+
+    @staticmethod
+    def key_of(loop_source: str) -> str:
+        return hashlib.sha1(loop_source.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def encode_loop(self, loop_source: str, loop=None,
+                    label: int = 0) -> EncodedGraph:
+        """Encode one loop, reusing a prior encoding of identical source.
+
+        ``loop`` optionally passes a pre-parsed AST (e.g. a sample's
+        cached one) to skip re-parsing on a cache miss.
+        """
+        key = self.key_of(loop_source)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+            if loop is None:
+                from repro.cfront import parse_loop
+
+                loop = parse_loop(loop_source)
+            graph = REPRESENTATION_BUILDERS[self.representation](loop)
+            cached = encode_graph(graph, self.vocab, label=0)
+            self._store[key] = cached
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+        return cached if label == 0 else replace(cached, label=label)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}
+
+
 @dataclass
 class GraphBatch:
     """A block-diagonal merge of several :class:`EncodedGraph`.
 
     ``graph_ids`` assigns every node to its source graph, which the
-    readout layer uses for per-graph mean pooling.
+    readout layer uses for per-graph mean pooling.  ``struct_cache``
+    memoises purely structural derivations (type sort order, edge
+    concatenation, destination sort) that every layer — and, when the
+    batch itself is reused, every model — would otherwise recompute.
     """
 
     type_ids: np.ndarray
@@ -81,6 +159,8 @@ class GraphBatch:
     graph_ids: np.ndarray         # (N,) int64
     labels: np.ndarray            # (B,) int64
     num_graphs: int
+    struct_cache: dict = field(default_factory=dict, repr=False,
+                               compare=False)
 
     @property
     def num_nodes(self) -> int:

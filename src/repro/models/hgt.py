@@ -25,7 +25,7 @@ Python loop over types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,7 +36,6 @@ from repro.nn import (
     Dropout,
     Embedding,
     LayerNorm,
-    Linear,
     MLP,
     Module,
     Parameter,
@@ -44,10 +43,27 @@ from repro.nn import (
 from repro.nn.tensor import (
     Tensor,
     concat,
+    is_grad_enabled,
+    scatter_add_rows,
     segment_mean,
     segment_softmax,
     segment_sum,
 )
+
+
+def _gelu_array(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU on a raw array (mirrors ``Tensor.gelu``)."""
+    c = x.dtype.type(np.sqrt(2.0 / np.pi))
+    x_sq = x * x
+    inner = x_sq * x
+    inner *= 0.044715
+    inner += x
+    inner *= c
+    t = np.tanh(inner)
+    out = 1.0 + t
+    out *= x
+    out *= 0.5
+    return out
 
 
 class TypedLinear(Module):
@@ -71,23 +87,46 @@ class TypedLinear(Module):
         )
         self.bias = Parameter(np.zeros((num_types, out_dim), dtype=np.float32))
 
-    def forward(self, x: Tensor, type_ids: np.ndarray) -> Tensor:
-        type_ids = np.asarray(type_ids, dtype=np.int64)
-        order = np.argsort(type_ids, kind="stable")
-        sorted_types = type_ids[order]
-        boundaries = np.flatnonzero(np.diff(sorted_types)) + 1
-        group_starts = np.concatenate(([0], boundaries))
-        group_ends = np.concatenate((boundaries, [len(sorted_types)]))
+    def forward(self, x: Tensor, type_ids: np.ndarray,
+                sort: tuple | None = None) -> Tensor:
+        if sort is None:
+            sort = _type_sort(np.asarray(type_ids, dtype=np.int64))
+        order, sorted_types, group_starts, group_ends = sort
+        if not is_grad_enabled():
+            # Inference: gather rows into type order once, run one
+            # contiguous matmul per present type, un-permute once — no
+            # autograd shells, no per-group fancy indexing.  Values are
+            # identical to the tape path.
+            xd = x.data
+            weight, bias = self.weight.data, self.bias.data
+            xs = xd[order]
+            out_sorted = np.empty((xd.shape[0], weight.shape[2]),
+                                  dtype=xd.dtype)
+            for start, end in zip(group_starts, group_ends):
+                t = int(sorted_types[start])
+                out_sorted[start:end] = xs[start:end] @ weight[t] + bias[t]
+            out = np.empty_like(out_sorted)
+            out[order] = out_sorted
+            return Tensor(out)
         pieces = []
         for start, end in zip(group_starts, group_ends):
             t = int(sorted_types[start])
             rows = order[start:end]
             pieces.append(x[rows] @ self.weight[t] + self.bias[t])
-        from repro.nn.tensor import concat
         out_sorted = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
         inverse = np.empty_like(order)
         inverse[order] = np.arange(len(order))
         return out_sorted[inverse]
+
+
+def _type_sort(type_ids: np.ndarray) -> tuple:
+    """(order, sorted_types, group_starts, group_ends) for a type array."""
+    order = np.argsort(type_ids, kind="stable")
+    sorted_types = type_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_types)) + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_ends = np.concatenate((boundaries, [len(sorted_types)]))
+    return order, sorted_types, group_starts, group_ends
 
 
 class HGTLayer(Module):
@@ -129,6 +168,8 @@ class HGTLayer(Module):
         self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
 
     def forward(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        if not is_grad_enabled():
+            return self._forward_inference(x, batch)
         n, d = x.shape
         h, dk = self.heads, self.d_head
         k = self.k_linear(x, batch.type_ids).reshape(n, h, dk)
@@ -174,6 +215,89 @@ class HGTLayer(Module):
 
         # Target-specific aggregation (eq. 5): A-Linear(gelu(agg)) + residual.
         out = self.a_linear(self.dropout(agg.gelu()), batch.type_ids)
+        return self.norm(out + x)
+
+    def _forward_inference(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        """No-grad forward on raw arrays with batch-structure reuse.
+
+        Mathematically the same layer; purely structural work (type
+        sort, edge concatenation, destination sort) is memoised on the
+        batch, so the second layer — and every further model that
+        reuses a collated batch — skips it entirely.
+        """
+        n, d = x.shape
+        h, dk = self.heads, self.d_head
+        caches = batch.struct_cache
+        sort = caches.get("type_sort")
+        if sort is None:
+            sort = caches["type_sort"] = _type_sort(
+                np.asarray(batch.type_ids, dtype=np.int64))
+        k = self.k_linear(x, batch.type_ids, sort=sort).data.reshape(n, h, dk)
+        q = self.q_linear(x, batch.type_ids, sort=sort).data.reshape(n, h, dk)
+        v = self.v_linear(x, batch.type_ids, sort=sort).data.reshape(n, h, dk)
+
+        struct = caches.get("edge_struct")
+        if struct is None:
+            spans: list[tuple[int, int, int]] = []
+            src_parts: list[np.ndarray] = []
+            dst_parts: list[np.ndarray] = []
+            offset = 0
+            for rel_idx, rel in enumerate(RELATIONS):
+                edge_index = batch.edges[rel]
+                n_e = edge_index.shape[1]
+                if n_e == 0:
+                    continue
+                spans.append((rel_idx, offset, offset + n_e))
+                src_parts.append(edge_index[0])
+                dst_parts.append(edge_index[1])
+                offset += n_e
+            if spans:
+                all_src = np.concatenate(src_parts)
+                all_dst = np.concatenate(dst_parts)
+                order = np.argsort(all_dst, kind="stable")
+                sorted_dst = all_dst[order]
+                starts = np.concatenate(
+                    ([0], np.flatnonzero(np.diff(sorted_dst)) + 1))
+                dst_sort = (order, starts, sorted_dst[starts])
+            else:
+                all_src = all_dst = dst_sort = None
+            struct = caches["edge_struct"] = (spans, all_src, all_dst,
+                                              dst_sort)
+        spans, all_src, all_dst, dst_sort = struct
+        if not spans:
+            return x
+
+        k_all = k[all_src]                                # (E, h, dk)
+        q_all = q[all_dst]
+        v_all = v[all_src]
+        w_att, w_msg = self.w_att.data, self.w_msg.data
+        prior = self.rel_prior.data
+        logits = np.empty((len(all_dst), h), dtype=k_all.dtype)
+        msgs = np.empty((len(all_dst), h, dk), dtype=k_all.dtype)
+        for rel_idx, lo, hi in spans:
+            k_t = k_all[lo:hi].swapaxes(0, 1)             # (h, E_r, dk)
+            q_t = q_all[lo:hi].swapaxes(0, 1)
+            att = ((k_t @ w_att[rel_idx]) * q_t).sum(axis=-1)
+            att = att.swapaxes(0, 1)
+            att = att * prior[rel_idx] * self.att_scale
+            logits[lo:hi] = att
+            msgs[lo:hi] = (v_all[lo:hi].swapaxes(0, 1)
+                           @ w_msg[rel_idx]).swapaxes(0, 1)
+
+        # Softmax over each target's in-neighbourhood with cached sort.
+        order, starts, uniq = dst_sort
+        seg_max = np.full((n, h), -np.inf, dtype=logits.dtype)
+        seg_max[uniq] = np.maximum.reduceat(logits[order], starts, axis=0)
+        exp = np.exp(logits - seg_max[all_dst])
+        denom = np.zeros((n, h), dtype=logits.dtype)
+        scatter_add_rows(denom, all_dst, exp)
+        p = exp / np.maximum(denom[all_dst], 1e-12)
+        weighted = msgs * p.reshape(-1, h, 1)
+        agg = np.zeros((n, d), dtype=weighted.dtype)
+        scatter_add_rows(agg, all_dst, weighted.reshape(-1, d))
+
+        out = self.a_linear(Tensor(_gelu_array(agg)), batch.type_ids,
+                            sort=sort)
         return self.norm(out + x)
 
 

@@ -74,8 +74,23 @@ def _as_array(value, dtype=None) -> np.ndarray:
 
 def scatter_add_rows(target: np.ndarray, idx: np.ndarray,
                      values: np.ndarray) -> None:
-    """``np.add.at(target, idx, values)`` for 1-D integer row indices."""
-    np.add.at(target, np.asarray(idx), values)
+    """``np.add.at(target, idx, values)`` for 1-D integer row indices.
+
+    2-D scatters (the message-aggregation hot path) go through a flat
+    ``np.bincount``, which profiled ~2× faster than ``ufunc.at`` on
+    batched graphs.  It is used at *every* size so single-graph and
+    block-diagonal batched forwards accumulate identically (same
+    per-bucket contribution order, same float64 accumulator).
+    """
+    idx = np.asarray(idx)
+    if values.ndim == 2 and idx.ndim == 1:
+        n, d = target.shape
+        flat = idx[:, None] * d + np.arange(d)
+        target += np.bincount(
+            flat.ravel(), weights=values.ravel(), minlength=n * d,
+        ).reshape(n, d).astype(target.dtype, copy=False)
+        return
+    np.add.at(target, idx, values)
 
 
 def segment_max_rows(idx: np.ndarray, values: np.ndarray,
@@ -312,15 +327,26 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """tanh-approximation GELU (what HGT/transformers use)."""
+        """tanh-approximation GELU (what HGT/transformers use).
+
+        ``x ** 3`` is spelled as repeated multiplication: numpy routes
+        float array powers through ``pow``, which profiled ~20× slower
+        than two in-place multiplies and dominated batched inference.
+        """
         c = self.data.dtype.type(np.sqrt(2.0 / np.pi))
         x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
+        x_sq = x * x
+        inner = x_sq * x
+        inner *= 0.044715
+        inner += x
+        inner *= c
         t = np.tanh(inner)
-        data = 0.5 * x * (1.0 + t)
+        data = 1.0 + t
+        data *= x
+        data *= 0.5
 
         def backward(g: np.ndarray) -> None:
-            dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * x ** 2)
+            dt = (1.0 - t * t) * c * (1.0 + (3 * 0.044715) * x_sq)
             self._accumulate(g * (0.5 * (1.0 + t) + 0.5 * x * dt))
 
         return self._make(data, (self,), backward)

@@ -1,0 +1,27 @@
+"""Batched suggestion serving over whole files and directories.
+
+``repro.serve`` is the throughput-oriented face of :mod:`repro.suggest`:
+it parses many C files (optionally across worker processes), extracts
+every outermost loop with per-function liveness, encodes each distinct
+loop once against a shared vocabulary, and runs one block-diagonal
+batched forward per model for the entire workload before fanning the
+results back out per file.
+"""
+
+from repro.serve.parse import ParsedFile, parse_many, parse_one
+from repro.serve.pipeline import (
+    FileSuggestions,
+    ServeConfig,
+    SuggestionService,
+    build_service,
+)
+
+__all__ = [
+    "FileSuggestions",
+    "ParsedFile",
+    "ServeConfig",
+    "SuggestionService",
+    "build_service",
+    "parse_many",
+    "parse_one",
+]

@@ -1,0 +1,67 @@
+"""CPU-bound file-parse stage of the suggestion service.
+
+The cfront frontend is pure python and dominates serving latency for
+large corpora, so this stage can fan out over a process pool.  Workers
+exchange only plain picklable payloads (loop sources + live-out name
+sets wrapped in :class:`~repro.suggest.LoopRequest`), never AST
+objects; files the frontend rejects come back as per-file errors, the
+way the paper's pipeline dropped files Clang rejected.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.cfront import ParseError
+from repro.cfront.lexer import LexError
+from repro.suggest import LoopRequest, file_requests
+
+
+@dataclass
+class ParsedFile:
+    """Parse-stage output for one file."""
+
+    name: str
+    requests: list[LoopRequest] = field(default_factory=list)
+    error: str | None = None
+
+
+def parse_one(item: tuple[str, str], with_asts: bool = True) -> ParsedFile:
+    """(name, source) → extracted loop requests, or a per-file error.
+
+    ``with_asts=False`` keeps the requests plain (no attached loop
+    statements) so they pickle cheaply across process boundaries.
+    """
+    name, source = item
+    try:
+        return ParsedFile(
+            name=name, requests=file_requests(source, with_asts=with_asts),
+        )
+    except (ParseError, LexError, RecursionError) as exc:
+        return ParsedFile(name=name,
+                          error=f"{type(exc).__name__}: {exc}")
+
+
+def parse_many(
+    named_sources: list[tuple[str, str]],
+    workers: int = 1,
+) -> list[ParsedFile]:
+    """Parse many ``(name, source)`` pairs, preserving order.
+
+    ``workers <= 1`` (or a single file) runs in-process; otherwise a
+    :class:`ProcessPoolExecutor` spreads the CPU-bound frontend across
+    cores.  Environments that cannot spawn processes fall back to the
+    serial path rather than failing the request.
+    """
+    items = list(named_sources)
+    if workers <= 1 or len(items) < 2:
+        return [parse_one(item) for item in items]
+    chunksize = max(1, len(items) // (workers * 4))
+    plain = partial(parse_one, with_asts=False)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(plain, items, chunksize=chunksize))
+    except (OSError, PermissionError):
+        return [parse_one(item) for item in items]

@@ -1,0 +1,184 @@
+"""The batched suggestion pipeline.
+
+Per-loop serving costs ``L×(C+1)`` single-graph forward passes for L
+loops and C clause families, each preceded by its own parse + graph
+build + encode.  :class:`SuggestionService` restructures that into
+
+1. a (optionally multiprocess) parse stage over whole files,
+2. one encode per distinct loop source per vocabulary — models that
+   agree on (representation, vocab content) share an
+   :class:`~repro.graphs.encode.EncodeCache`,
+3. one block-diagonal ``collate`` + forward per model for the whole
+   workload (chunked at ``batch_size`` graphs for memory),
+4. a fan-out back to per-file :class:`FileSuggestions`.
+
+Predictions are identical to the per-loop path: batching only changes
+how many graphs share a forward pass, never a graph's own numbers.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.parse import parse_many
+from repro.suggest import LoopRequest, PragmaSuggester, Suggestion
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving pipeline."""
+
+    workers: int = 1          # parse-stage processes (1 = in-process)
+    batch_size: int = 256     # graphs per collate in the forward pass
+    cache_entries: int = 4096  # per-vocab encode-cache capacity
+
+
+@dataclass
+class FileSuggestions:
+    """All suggestions for one file (or its frontend error)."""
+
+    name: str
+    suggestions: list[Suggestion] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def n_parallel(self) -> int:
+        return sum(s.parallel for s in self.suggestions)
+
+
+class _BatchedGraphModel:
+    """``predict_samples`` adapter: shared encode cache + pre-encoded
+    batched forward, replacing the model's own parse/encode-per-call
+    path on the serving hot loop.  ``collate_cache`` is shared across
+    all models of one service, so the clause models (which see the
+    same predicted-parallel subset) reuse one collated batch."""
+
+    def __init__(self, model, cache, batch_size: int,
+                 collate_cache: dict) -> None:
+        self.model = model
+        self.cache = cache
+        self.batch_size = batch_size
+        # Probe once whether the model's predict_encoded can share
+        # collated batches; catching TypeError per call would mask
+        # genuine type bugs inside prediction.
+        try:
+            supports = "collate_cache" in inspect.signature(
+                model.predict_encoded).parameters
+        except (TypeError, ValueError):
+            supports = False
+        self.collate_cache = collate_cache if supports else None
+
+    def predict_samples(self, samples):
+        graphs = [
+            self.cache.encode_loop(s.source, loop=s.ast()) for s in samples
+        ]
+        if self.collate_cache is not None:
+            return self.model.predict_encoded(
+                graphs, batch_size=self.batch_size,
+                collate_cache=self.collate_cache,
+            )
+        return self.model.predict_encoded(graphs,
+                                          batch_size=self.batch_size)
+
+
+class SuggestionService:
+    """Batched, cached pragma suggestion over files and directories.
+
+    ``parallel_model`` / ``clause_models`` follow the same contract as
+    :class:`~repro.suggest.PragmaSuggester`.  Models additionally
+    exposing ``predict_encoded`` / ``encode_cache`` / ``encoder_key``
+    (:class:`~repro.eval.context.TrainedGraphModel` does) are routed
+    through shared encode caches; anything else still gets one batched
+    ``predict_samples`` call per model.
+    """
+
+    def __init__(self, parallel_model, clause_models: dict,
+                 config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self._caches: dict[tuple, object] = {}
+        self._collate_cache: dict = {}
+        self.suggester = PragmaSuggester(
+            self._wrap(parallel_model),
+            {name: self._wrap(m) for name, m in clause_models.items()},
+        )
+
+    def _wrap(self, model):
+        if not all(
+            hasattr(model, attr)
+            for attr in ("predict_encoded", "encode_cache", "encoder_key")
+        ):
+            return model
+        key = model.encoder_key()
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = model.encode_cache(max_entries=self.config.cache_entries)
+            self._caches[key] = cache
+        return _BatchedGraphModel(model, cache, self.config.batch_size,
+                                  self._collate_cache)
+
+    # -- entry points --------------------------------------------------------
+
+    def suggest_sources(
+        self, named_sources: list[tuple[str, str]],
+    ) -> list[FileSuggestions]:
+        """Suggestions for many ``(name, source)`` pairs at once.
+
+        All loops of all files go through one ``suggest_batch`` call, so
+        every model runs a single batched forward for the whole workload.
+        """
+        parsed = parse_many(named_sources, workers=self.config.workers)
+        spans: list[tuple[int, int]] = []
+        flat: list[LoopRequest] = []
+        for pf in parsed:
+            spans.append((len(flat), len(flat) + len(pf.requests)))
+            flat.extend(pf.requests)
+        # Collate sharing is per-workload: ``id()`` keys must not outlive
+        # the graphs they describe.
+        self._collate_cache.clear()
+        suggestions = self.suggester.suggest_batch(flat) if flat else []
+        self._collate_cache.clear()
+        return [
+            FileSuggestions(name=pf.name, suggestions=suggestions[lo:hi],
+                            error=pf.error)
+            for pf, (lo, hi) in zip(parsed, spans)
+        ]
+
+    def suggest_paths(self, paths) -> list[FileSuggestions]:
+        named = [
+            (str(path), Path(path).read_text(encoding="utf-8"))
+            for path in paths
+        ]
+        return self.suggest_sources(named)
+
+    def suggest_dir(self, directory, pattern: str = "*.c",
+                    ) -> list[FileSuggestions]:
+        """Suggestions for every ``pattern`` file under ``directory``."""
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.suggest_paths(paths)
+
+    # -- introspection -------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/entry counts per shared encode cache."""
+        return {
+            f"{key[0]}#{i}": cache.stats()
+            for i, (key, cache) in enumerate(sorted(
+                self._caches.items(), key=lambda kv: kv[0][0],
+            ))
+        }
+
+
+def build_service(context, config: ServeConfig | None = None,
+                  clauses: tuple[str, ...] = ("reduction", "private",
+                                              "simd", "target"),
+                  ) -> SuggestionService:
+    """A service over one :class:`~repro.eval.context.ExperimentContext`'s
+    trained aug-AST models (training them on first use)."""
+    parallel = context.graph_model(representation="aug", task="parallel")
+    clause_models = {
+        clause: context.graph_model(representation="aug", task=clause)
+        for clause in clauses
+    }
+    return SuggestionService(parallel, clause_models, config)

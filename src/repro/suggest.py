@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cfg.analysis import scalars_read_after
 from repro.cfront import ParseError
 from repro.cfront.nodes import Stmt
-from repro.dataset.extract import extract_loops_from_source
+from repro.dataset.extract import _outermost_loops, extract_loops_by_function
 from repro.dataset.sample import LoopSample
+from repro.pragma.model import PragmaError
 from repro.tools.deps import analyze_loop
 
 
@@ -39,6 +41,23 @@ class Suggestion:
         return f"{self.pragma}\n{self.loop_source}"
 
 
+@dataclass(frozen=True)
+class LoopRequest:
+    """One loop queued for suggestion.
+
+    ``live_out`` lists scalars read after the loop in its enclosing
+    function (when known): privatized scalars in that set must be
+    ``lastprivate`` for correctness.  ``ast`` optionally carries the
+    already-parsed loop statement so batch consumers skip a re-parse;
+    it is advisory (never part of equality) and should be dropped when
+    requests cross a process boundary.
+    """
+
+    source: str
+    live_out: frozenset[str] = frozenset()
+    ast: Stmt | None = field(default=None, compare=False, repr=False)
+
+
 class PragmaSuggester:
     """Composes complete pragmas from model predictions + static analysis.
 
@@ -55,33 +74,90 @@ class PragmaSuggester:
 
     def suggest_loop(self, loop_source: str,
                      live_out: frozenset[str] = frozenset()) -> Suggestion:
-        """Suggestion for one loop.
+        """Suggestion for one loop (thin wrapper over the batch path)."""
+        return self.suggest_batch(
+            [LoopRequest(source=loop_source, live_out=live_out)]
+        )[0]
 
-        ``live_out`` lists scalars read after the loop in its enclosing
-        function (when known): privatized scalars in that set must be
-        ``lastprivate`` for correctness.
+    # -- batched -------------------------------------------------------------
+
+    def suggest_batch(
+        self, requests: list[LoopRequest | str],
+    ) -> list[Suggestion]:
+        """Suggestions for many loops with one model call per task.
+
+        The per-loop path costs ``L×(C+1)`` single-graph forward passes
+        for L loops and C clause families; here the parallel model sees
+        all parseable loops in one ``predict_samples`` call and each
+        clause model sees the predicted-parallel subset in one call, so
+        every model runs a single batched (block-diagonal) forward.
+        Results are order-aligned with ``requests``.
+
+        Duplicate requests — ubiquitous in crawled corpora, which is
+        why the paper deduplicated its dataset — are computed once and
+        fanned back out to every occurrence.
         """
-        sample = LoopSample(source=loop_source, parallel=False)
-        try:
-            loop = sample.ast()
-        except ParseError as exc:
-            return Suggestion(loop_source=loop_source, parallel=False,
-                              rationale=f"unparseable loop: {exc}")
-        is_parallel = bool(self.parallel_model.predict_samples([sample])[0])
-        if not is_parallel:
-            return Suggestion(
-                loop_source=loop_source, parallel=False,
-                rationale="model predicts loop-carried dependence",
-            )
-        families = [
-            clause for clause, model in self.clause_models.items()
-            if bool(model.predict_samples([sample])[0])
+        all_reqs = [
+            r if isinstance(r, LoopRequest) else LoopRequest(source=r)
+            for r in requests
         ]
-        pragma, rationale = self._compose(loop, families, live_out)
-        return Suggestion(
-            loop_source=loop_source, parallel=True, pragma=pragma,
-            clause_families=families, rationale=rationale,
-        )
+        unique_index: dict[LoopRequest, int] = {}
+        positions: list[int] = []
+        reqs: list[LoopRequest] = []
+        for req in all_reqs:
+            j = unique_index.get(req)
+            if j is None:
+                j = unique_index[req] = len(reqs)
+                reqs.append(req)
+            positions.append(j)
+        suggestions: list[Suggestion | None] = [None] * len(reqs)
+        parseable: list[int] = []
+        samples: list[LoopSample] = []
+        for i, req in enumerate(reqs):
+            sample = LoopSample(source=req.source, parallel=False)
+            if req.ast is not None:
+                sample._ast_cache = req.ast
+            try:
+                sample.ast()
+            except ParseError as exc:
+                suggestions[i] = Suggestion(
+                    loop_source=req.source, parallel=False,
+                    rationale=f"unparseable loop: {exc}",
+                )
+                continue
+            parseable.append(i)
+            samples.append(sample)
+
+        if samples:
+            is_parallel = self.parallel_model.predict_samples(samples)
+        else:
+            is_parallel = []
+        par_idx = [i for i, p in zip(parseable, is_parallel) if bool(p)]
+        par_samples = [s for s, p in zip(samples, is_parallel) if bool(p)]
+        for i, p in zip(parseable, is_parallel):
+            if not bool(p):
+                suggestions[i] = Suggestion(
+                    loop_source=reqs[i].source, parallel=False,
+                    rationale="model predicts loop-carried dependence",
+                )
+
+        families_per_loop: dict[int, list[str]] = {i: [] for i in par_idx}
+        if par_samples:
+            for clause, model in self.clause_models.items():
+                votes = model.predict_samples(par_samples)
+                for i, vote in zip(par_idx, votes):
+                    if bool(vote):
+                        families_per_loop[i].append(clause)
+        for i, sample in zip(par_idx, par_samples):
+            families = families_per_loop[i]
+            pragma, rationale = self._compose(
+                sample.ast(), families, reqs[i].live_out,
+            )
+            suggestions[i] = Suggestion(
+                loop_source=reqs[i].source, parallel=True, pragma=pragma,
+                clause_families=families, rationale=rationale,
+            )
+        return [suggestions[j] for j in positions]
 
     # -- composition -----------------------------------------------------------
 
@@ -140,27 +216,40 @@ class PragmaSuggester:
         """Suggestions for every outermost loop of a C file.
 
         File context enables liveness: scalars consumed after a loop are
-        suggested as ``lastprivate`` rather than ``private``.
+        suggested as ``lastprivate`` rather than ``private``.  Parsing
+        errors propagate — callers drop uncompilable files.
         """
-        from repro.cfg.analysis import scalars_read_after
-        from repro.cfront import parse_source
-        from repro.cfront.nodes import LOOP_KINDS
-        from repro.dataset.extract import _outermost_loops
+        return self.suggest_batch(file_requests(source))
 
-        samples = extract_loops_from_source(source)
-        tu = parse_source(source)
-        live_outs: list[frozenset[str]] = []
-        for fn in tu.functions():
-            if fn.body is None:
-                continue
-            for loop in _outermost_loops(fn.body):
-                live_outs.append(frozenset(scalars_read_after(fn.body, loop)))
-        if len(live_outs) != len(samples):   # defensive: keep them aligned
-            live_outs = [frozenset()] * len(samples)
-        return [
-            self.suggest_loop(s.source, live_out=lo)
-            for s, lo in zip(samples, live_outs)
-        ]
+
+def file_requests(source: str, with_asts: bool = True) -> list[LoopRequest]:
+    """Every outermost loop of a C file as a :class:`LoopRequest`.
+
+    Loops are paired with per-function liveness so suggestion paths
+    (single-file and batched serving) share one extraction/alignment
+    rule: when a function's loop count disagrees with its extracted
+    samples, liveness falls back to empty sets for *that function
+    only* — a mismatch must not drop ``lastprivate`` correctness for
+    every other loop in the file.
+
+    ``with_asts`` threads the already-parsed loop statements into the
+    requests (skipping a re-parse downstream); pass ``False`` when the
+    requests must cross a process boundary.
+    """
+    requests: list[LoopRequest] = []
+    for fn, samples in extract_loops_by_function(source):
+        loops = _outermost_loops(fn.body)
+        aligned = len(loops) == len(samples)
+        for i, sample in enumerate(samples):
+            live_out = (
+                frozenset(scalars_read_after(fn.body, loops[i]))
+                if aligned else frozenset()   # defensive: per-function
+            )
+            requests.append(LoopRequest(
+                source=sample.source, live_out=live_out,
+                ast=loops[i] if aligned and with_asts else None,
+            ))
+    return requests
 
 
 def agreement(suggested: str | None, original: str | None) -> dict:
@@ -174,8 +263,13 @@ def agreement(suggested: str | None, original: str | None) -> dict:
     if suggested is None or original is None:
         return {"both_present": suggested is None and original is None,
                 "directive_match": False, "reduction_match": False}
-    sp = parse_omp_pragma(suggested)
-    op = parse_omp_pragma(original)
+    try:
+        sp = parse_omp_pragma(suggested)
+        op = parse_omp_pragma(original)
+    except PragmaError:
+        # Malformed omp pragmas (clause-only like "omp private(t)", junk
+        # clause lists) count as no usable pragma, not a crash.
+        sp = op = None
     if sp is None or op is None:
         return {"both_present": False, "directive_match": False,
                 "reduction_match": False}

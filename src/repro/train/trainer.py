@@ -7,20 +7,19 @@ validation F1.  Everything is seeded and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dataset.sample import LoopSample
 from repro.graphs import (
     GraphVocab,
-    build_aug_ast,
+    REPRESENTATION_BUILDERS,
     build_graph_vocab,
-    build_vanilla_ast,
     collate,
     encode_graph,
 )
-from repro.graphs.encode import EncodedGraph
+from repro.graphs.encode import EncodeCache, EncodedGraph
 from repro.models.pragformer import build_token_vocab, encode_tokens, tokenize_loop
 from repro.nn import Adam, clip_grad_norm, cosine_schedule, functional as F
 from repro.nn.tensor import no_grad
@@ -51,27 +50,37 @@ def prepare_graph_data(
     representation: str = "aug",
     vocab: GraphVocab | None = None,
     label_fn=None,
+    cache: EncodeCache | None = None,
 ) -> tuple[list[EncodedGraph], GraphVocab]:
     """Samples → encoded graphs (+ the vocabulary used).
 
     ``representation``: ``"aug"`` (full aug-AST), ``"vanilla"`` (tree
     only), ``"aug-nocfg"`` / ``"aug-nolex"`` (ablations).
     ``label_fn(sample) -> int`` defaults to the parallel/non-parallel
-    label.
+    label.  Passing an :class:`EncodeCache` (bound to a frozen vocab)
+    reuses encodings of previously seen loop sources — the serving path
+    over a corpus hits the same loops once per model otherwise.
     """
     label_fn = label_fn or (lambda s: s.label)
-    builders = {
-        "aug": lambda loop: build_aug_ast(loop),
-        "vanilla": lambda loop: build_vanilla_ast(loop),
-        "aug-nocfg": lambda loop: build_aug_ast(loop, with_cfg=False),
-        "aug-nolex": lambda loop: build_aug_ast(loop, with_lexical=False),
-    }
+    if cache is not None:
+        if vocab is not None and vocab is not cache.vocab:
+            raise ValueError("cache is bound to a different vocab")
+        if representation != cache.representation:
+            raise ValueError(
+                f"cache built for {cache.representation!r}, "
+                f"got {representation!r}"
+            )
+        encoded = [
+            cache.encode_loop(s.source, loop=s.ast(), label=label_fn(s))
+            for s in samples
+        ]
+        return encoded, cache.vocab
     try:
-        builder = builders[representation]
+        builder = REPRESENTATION_BUILDERS[representation]
     except KeyError:
         raise ValueError(
             f"unknown representation {representation!r}; "
-            f"choose from {sorted(builders)}"
+            f"choose from {sorted(REPRESENTATION_BUILDERS)}"
         )
     graphs = [builder(s.ast()) for s in samples]
     if vocab is None:

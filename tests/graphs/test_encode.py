@@ -6,6 +6,7 @@ import pytest
 from repro.cfront import parse_loop
 from repro.graphs import (
     EdgeType,
+    EncodeCache,
     GraphVocab,
     RELATIONS,
     Vocab,
@@ -147,3 +148,75 @@ class TestCollate:
         batch = collate([enc])
         assert batch.num_graphs == 1
         assert (batch.graph_ids == 0).all()
+
+    def test_single_graph_batch_preserves_arrays(self):
+        gv = build_graph_vocab(graphs())
+        enc = encode_graph(graphs()[0], gv, label=1)
+        batch = collate([enc])
+        assert (batch.type_ids == enc.type_ids).all()
+        for rel in RELATIONS:
+            assert (batch.edges[rel] == enc.edges[rel]).all()
+        assert list(batch.labels) == [1]
+
+    def test_relation_empty_in_every_graph_stays_empty(self):
+        gv = build_graph_vocab(graphs())
+        encs = [encode_graph(g, gv) for g in graphs()]
+        rel = RELATIONS[0]
+        for enc in encs:
+            enc.edges[rel] = np.zeros((2, 0), dtype=np.int64)
+        batch = collate(encs)
+        assert batch.edges[rel].shape == (2, 0)
+        assert batch.edges[rel].dtype == np.int64
+
+    def test_all_relations_empty(self):
+        gv = build_graph_vocab(graphs())
+        encs = [encode_graph(g, gv) for g in graphs()[:2]]
+        for enc in encs:
+            for rel in RELATIONS:
+                enc.edges[rel] = np.zeros((2, 0), dtype=np.int64)
+        batch = collate(encs)
+        assert batch.num_nodes == sum(e.num_nodes for e in encs)
+        for rel in RELATIONS:
+            assert batch.edges[rel].shape == (2, 0)
+
+
+class TestEncodeCache:
+    def test_identical_source_hits(self):
+        gv = build_graph_vocab(graphs())
+        cache = EncodeCache(gv, representation="aug")
+        a = cache.encode_loop(LOOPS[0])
+        b = cache.encode_loop(LOOPS[0])
+        assert a is b
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_matches_uncached_encoding(self):
+        gv = build_graph_vocab(graphs())
+        cache = EncodeCache(gv, representation="aug")
+        cached = cache.encode_loop(LOOPS[0])
+        direct = encode_graph(build_aug_ast(parse_loop(LOOPS[0])), gv)
+        assert (cached.type_ids == direct.type_ids).all()
+        assert (cached.text_ids == direct.text_ids).all()
+        for rel in RELATIONS:
+            assert (cached.edges[rel] == direct.edges[rel]).all()
+
+    def test_label_applied_without_mutating_cache(self):
+        gv = build_graph_vocab(graphs())
+        cache = EncodeCache(gv)
+        labelled = cache.encode_loop(LOOPS[0], label=1)
+        assert labelled.label == 1
+        assert cache.encode_loop(LOOPS[0]).label == 0
+        # arrays are shared, only the dataclass shell differs
+        assert labelled.type_ids is cache.encode_loop(LOOPS[0]).type_ids
+
+    def test_lru_eviction(self):
+        gv = build_graph_vocab(graphs())
+        cache = EncodeCache(gv, max_entries=2)
+        for src in LOOPS:
+            cache.encode_loop(src)
+        assert len(cache) == 2
+        cache.encode_loop(LOOPS[0])   # evicted earlier -> miss again
+        assert cache.misses == 4
+
+    def test_rejects_unknown_representation(self):
+        with pytest.raises(ValueError):
+            EncodeCache(GraphVocab(), representation="nope")

@@ -4,7 +4,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import dataset_main, eval_main, train_main
+from repro.cli import dataset_main, eval_main, main, train_main
 
 
 class TestDatasetCLI:
@@ -34,6 +34,55 @@ class TestTrainCLI:
         assert code == 0
         assert weights.exists()
         assert "accuracy" in capsys.readouterr().out
+
+
+class TestSuggestDirCLI:
+    SOURCE = """
+    double a[64], b[64]; double s;
+    void kernel(void) {
+        int i;
+        for (i = 0; i < 64; i++) a[i] = b[i] * 2.0;
+        for (i = 0; i < 64; i++) s += a[i];
+    }
+    """
+
+    def test_suggests_over_directory(self, tmp_path, capsys):
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "kernel.c").write_text(self.SOURCE)
+        out = tmp_path / "suggestions.json"
+        code = main([
+            "suggest-dir", str(src_dir), "--scale", "0.005",
+            "--epochs", "1", "--dim", "16", "--quiet",
+            "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2 loops across 1 files" in text
+        import json
+        payload = json.loads(out.read_text())
+        assert len(payload) == 1
+        assert len(payload[0]["suggestions"]) == 2
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        code = main(["suggest-dir", str(tmp_path), "--scale", "0.005",
+                     "--epochs", "1", "--dim", "16"])
+        assert code == 1
+        assert "no files" in capsys.readouterr().out
+
+
+class TestUmbrellaCLI:
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "suggest-dir" in capsys.readouterr().out
 
 
 class TestEvalCLI:

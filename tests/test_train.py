@@ -105,6 +105,35 @@ class TestPrepareData:
         assert ids.shape[0] == 16
         assert labels.shape == (16,)
 
+    def test_prepare_graph_with_encode_cache(self, tiny_dataset):
+        from repro.graphs import EncodeCache
+
+        train, _ = tiny_dataset
+        plain, vocab = prepare_graph_data(train[:10])
+        cache = EncodeCache(vocab, representation="aug")
+        cached, vocab2 = prepare_graph_data(train[:10], cache=cache)
+        assert vocab2 is vocab
+        assert cache.misses <= 10 and len(cache) == cache.misses
+        for a, b in zip(plain, cached):
+            assert a.label == b.label
+            assert (a.type_ids == b.type_ids).all()
+            assert (a.text_ids == b.text_ids).all()
+        # second pass reuses every encoding
+        again, _ = prepare_graph_data(train[:10], cache=cache)
+        assert cache.hits >= 10
+
+    def test_prepare_graph_cache_vocab_mismatch_raises(self, tiny_dataset):
+        from repro.graphs import EncodeCache, GraphVocab
+
+        train, _ = tiny_dataset
+        _, vocab = prepare_graph_data(train[:5])
+        cache = EncodeCache(vocab, representation="aug")
+        with pytest.raises(ValueError):
+            prepare_graph_data(train[:5], vocab=GraphVocab(), cache=cache)
+        with pytest.raises(ValueError):
+            prepare_graph_data(train[:5], representation="vanilla",
+                               cache=cache)
+
 
 class TestGraphTrainer:
     def test_loss_decreases(self, tiny_dataset):
