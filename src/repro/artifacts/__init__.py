@@ -1,0 +1,37 @@
+"""Persistent trained-model artifacts.
+
+The paper's §6.4 deployment story assumes a *trained* model advising
+developers; this package makes that real by persisting suggesters as
+versioned on-disk bundles instead of retraining per invocation:
+
+- :func:`save_trained` / :func:`load_trained` round-trip one trained
+  model (any family: HGT/Graph2Par, RGCN, GCN, PragFormer) together
+  with its config, train config and vocabulary,
+- :class:`SuggesterBundle` captures a whole suggester — the parallel
+  model plus every clause-family model and their shared vocabulary —
+  in one directory that ``repro train --bundle-out`` writes and
+  ``repro suggest-dir --bundle`` serves with zero training steps.
+
+Every artifact records a format version and the SHA-256 of its
+vocabulary; loading a bundle whose version or vocab hash disagrees
+fails loudly rather than predicting garbage.
+"""
+
+from repro.artifacts.model_io import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    family_of,
+    load_trained,
+    save_trained,
+)
+from repro.artifacts.bundle import BundleError, SuggesterBundle
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "BundleError",
+    "SuggesterBundle",
+    "family_of",
+    "load_trained",
+    "save_trained",
+]

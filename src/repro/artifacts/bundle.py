@@ -1,0 +1,164 @@
+"""The suggester bundle: one directory, one deployable advisor.
+
+Layout (format version 1)::
+
+    <bundle>/
+      manifest.json          format version, clause list, vocab hash,
+                             experiment-config provenance
+      vocab.json             the shared GraphVocab of every model
+      parallel/              the parallel/non-parallel model
+        model.json  weights.npz
+      clause_<family>/       one per clause-family model
+        model.json  weights.npz
+
+All models of a suggester are trained on the same split and therefore
+share one vocabulary; the bundle stores it once and every model
+records its SHA-256, so a bundle stitched together from mismatched
+halves refuses to load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.artifacts.model_io import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    _check_version,
+    _read_json,
+    _write_json,
+    load_trained,
+    save_trained,
+)
+from repro.graphs.vocab import GraphVocab, Vocab
+from repro.serve.pipeline import DEFAULT_CLAUSES
+
+
+class BundleError(ArtifactError):
+    """A suggester bundle is missing, incompatible, or inconsistent."""
+
+
+@dataclass
+class SuggesterBundle:
+    """A trained suggester (parallel + clause models) as one artifact.
+
+    ``parallel`` and the ``clause_models`` values follow the
+    :class:`~repro.eval.context.TrainedGraphModel` protocol.
+    ``experiment`` optionally records the training
+    :class:`~repro.eval.config.ExperimentConfig` as provenance.
+    """
+
+    parallel: object
+    clause_models: dict[str, object]
+    experiment: dict | None = field(default=None)
+
+    @property
+    def vocab(self) -> GraphVocab:
+        return self.parallel.vocab
+
+    @classmethod
+    def from_context(cls, context,
+                     clauses: tuple[str, ...] = DEFAULT_CLAUSES,
+                     ) -> "SuggesterBundle":
+        """Collect (training on first use) a context's suggester models."""
+        from dataclasses import asdict
+
+        return cls(
+            parallel=context.graph_model(representation="aug",
+                                         task="parallel"),
+            clause_models={
+                clause: context.graph_model(representation="aug",
+                                            task=clause)
+                for clause in clauses
+            },
+            experiment=asdict(context.config),
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the bundle; returns the bundle directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        vocab_hash = self.vocab.content_hash()
+        for name, model in self.clause_models.items():
+            if model.vocab.content_hash() != vocab_hash:
+                raise BundleError(
+                    f"clause model {name!r} was trained against a "
+                    f"different vocabulary than the parallel model; "
+                    f"a bundle stores exactly one vocab"
+                )
+        _write_json(directory / "vocab.json", self.vocab.to_dict())
+        save_trained(self.parallel, directory / "parallel",
+                     include_vocab=False)
+        for name, model in self.clause_models.items():
+            save_trained(model, directory / f"clause_{name}",
+                         include_vocab=False)
+        _write_json(directory / "manifest.json", {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "kind": "suggester-bundle",
+            "clauses": list(self.clause_models),
+            "vocab_sha256": vocab_hash,
+            "experiment": self.experiment,
+        })
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SuggesterBundle":
+        """Load a saved bundle, verifying version and vocabulary hash."""
+        directory = Path(directory)
+        try:
+            manifest = _read_json(directory / "manifest.json")
+        except ArtifactError as exc:
+            raise BundleError(str(exc)) from exc
+        if manifest.get("kind") != "suggester-bundle":
+            raise BundleError(
+                f"{directory} is not a suggester bundle "
+                f"(kind={manifest.get('kind')!r})"
+            )
+        try:
+            _check_version(manifest, directory / "manifest.json")
+        except ArtifactError as exc:
+            raise BundleError(str(exc)) from exc
+        vocab_data = _read_json(directory / "vocab.json")
+        vocab = GraphVocab(
+            types=Vocab.from_dict(vocab_data["types"]),
+            texts=Vocab.from_dict(vocab_data["texts"]),
+        )
+        if vocab.content_hash() != manifest.get("vocab_sha256"):
+            raise BundleError(
+                f"vocab.json in {directory} does not hash to the "
+                f"manifest's vocab_sha256 — the bundle was tampered "
+                f"with or assembled from mismatched artifacts"
+            )
+        return cls(
+            parallel=load_trained(directory / "parallel", vocab=vocab),
+            clause_models={
+                name: load_trained(directory / f"clause_{name}",
+                                   vocab=vocab)
+                for name in manifest["clauses"]
+            },
+            experiment=manifest.get("experiment"),
+        )
+
+    # -- serving -------------------------------------------------------------
+
+    def build_service(self, config=None, cache_dir: str | Path | None = None):
+        """A :class:`~repro.serve.SuggestionService` over this bundle's
+        models (zero training steps), optionally backed by a persistent
+        suggestion store at ``cache_dir``."""
+        from repro.serve import build_service
+
+        return build_service(self, config=config, cache_dir=cache_dir)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI banner)."""
+        exp = self.experiment or {}
+        scale = exp.get("scale")
+        return (
+            f"suggester bundle: parallel + {len(self.clause_models)} "
+            f"clause models ({', '.join(self.clause_models)}), "
+            f"vocab {self.vocab.content_hash()[:12]}"
+            + (f", trained at scale={scale}" if scale is not None else "")
+        )

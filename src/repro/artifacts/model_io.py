@@ -1,0 +1,177 @@
+"""Single-model artifact (de)serialization.
+
+One trained model persists as a directory:
+
+``model.json``
+    format version, model family, task, architecture config, train
+    config, and the SHA-256 of the vocabulary it was trained with.
+``weights.npz``
+    the parameter state dict (strictly checked on load).
+``vocab.json``
+    the vocabulary, unless the caller shares one externally (the
+    bundle layout stores a single vocab for all its models).
+
+Loading reconstructs the exact architecture from the recorded family +
+config, verifies the vocabulary hash, and strict-loads the weights, so
+``save → load → predict`` is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.graphs.vocab import GraphVocab, Vocab
+from repro.models import (
+    GCNBaseline,
+    GCNConfig,
+    Graph2Par,
+    Graph2ParConfig,
+    PragFormer,
+    PragFormerConfig,
+    RGCNBaseline,
+    RGCNConfig,
+)
+from repro.nn.serialize import load_state, save_state
+
+#: bump when the on-disk layout changes incompatibly
+ARTIFACT_FORMAT_VERSION = 1
+
+#: family name → (model class, config class) for graph models
+GRAPH_FAMILIES = {
+    "graph2par": (Graph2Par, Graph2ParConfig),
+    "gcn": (GCNBaseline, GCNConfig),
+    "rgcn": (RGCNBaseline, RGCNConfig),
+}
+
+#: family name → (model class, config class) for token models
+TOKEN_FAMILIES = {
+    "pragformer": (PragFormer, PragFormerConfig),
+}
+
+
+class ArtifactError(RuntimeError):
+    """An artifact directory is missing, incompatible, or inconsistent."""
+
+
+def family_of(model) -> str:
+    """The registry name of a model instance's exact class."""
+    for registry in (GRAPH_FAMILIES, TOKEN_FAMILIES):
+        for name, (cls, _) in registry.items():
+            if type(model) is cls:
+                return name
+    raise ArtifactError(
+        f"model class {type(model).__qualname__} has no artifact family; "
+        f"known: {sorted(GRAPH_FAMILIES) + sorted(TOKEN_FAMILIES)}"
+    )
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise ArtifactError(f"not a model artifact: missing {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt artifact metadata {path}: {exc}") from exc
+
+
+def _check_version(meta: dict, path: Path) -> None:
+    version = meta.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"{path} has format version {version!r}; this build reads "
+            f"version {ARTIFACT_FORMAT_VERSION}. Re-save the artifact "
+            f"with the current code."
+        )
+
+
+def save_trained(trained, directory: str | Path, *,
+                 include_vocab: bool = True) -> Path:
+    """Persist a trained model wrapper to ``directory``.
+
+    ``trained`` is a :class:`~repro.eval.context.TrainedGraphModel` or
+    :class:`~repro.eval.context.TrainedTokenModel`.  With
+    ``include_vocab=False`` only the vocab hash is recorded and the
+    caller owns vocabulary storage (the bundle layout).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    model = trained.trainer.model
+    family = family_of(model)
+    kind = "token" if family in TOKEN_FAMILIES else "graph"
+    meta = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "family": family,
+        "kind": kind,
+        "task": trained.task,
+        "config": asdict(model.config),
+        "train_config": asdict(trained.trainer.config),
+        "vocab_sha256": trained.vocab.content_hash(),
+    }
+    if kind == "graph":
+        meta["representation"] = trained.representation
+    else:
+        meta["max_len"] = trained.max_len
+    save_state(model, directory / "weights.npz")
+    if include_vocab:
+        _write_json(directory / "vocab.json", trained.vocab.to_dict())
+    _write_json(directory / "model.json", meta)
+    return directory
+
+
+def load_trained(directory: str | Path, vocab=None):
+    """Load a model saved by :func:`save_trained`, ready to predict.
+
+    ``vocab`` supplies an externally stored vocabulary (bundle layout);
+    its content hash must match the one recorded at save time —
+    weights gathered against one vocabulary are meaningless under
+    another, so a mismatch raises :class:`ArtifactError`.
+    """
+    from repro.eval.context import TrainedGraphModel, TrainedTokenModel
+    from repro.train import GraphTrainer, TokenTrainer, TrainConfig
+
+    directory = Path(directory)
+    meta = _read_json(directory / "model.json")
+    _check_version(meta, directory / "model.json")
+    kind = meta.get("kind")
+    if vocab is None:
+        vocab_data = _read_json(directory / "vocab.json")
+        if kind == "graph":
+            vocab = GraphVocab(
+                types=Vocab.from_dict(vocab_data["types"]),
+                texts=Vocab.from_dict(vocab_data["texts"]),
+            )
+        else:
+            vocab = Vocab.from_dict(vocab_data)
+    recorded = meta.get("vocab_sha256")
+    if vocab.content_hash() != recorded:
+        raise ArtifactError(
+            f"vocabulary mismatch for {directory}: the weights were "
+            f"saved against vocab {str(recorded)[:12]}… but the provided "
+            f"vocabulary hashes to {vocab.content_hash()[:12]}…"
+        )
+    family = meta.get("family")
+    registry = TOKEN_FAMILIES if kind == "token" else GRAPH_FAMILIES
+    if family not in registry:
+        raise ArtifactError(
+            f"unknown model family {family!r} in {directory}; "
+            f"known: {sorted(registry)}"
+        )
+    model_cls, config_cls = registry[family]
+    model = model_cls(vocab, config_cls(**meta["config"]))
+    load_state(model, directory / "weights.npz")
+    train_config = TrainConfig(**meta["train_config"])
+    if kind == "token":
+        return TrainedTokenModel(
+            trainer=TokenTrainer(model, train_config), vocab=vocab,
+            task=meta["task"], max_len=meta["max_len"],
+        )
+    return TrainedGraphModel(
+        trainer=GraphTrainer(model, train_config), vocab=vocab,
+        representation=meta["representation"], task=meta["task"],
+    )

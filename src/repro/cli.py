@@ -58,15 +58,23 @@ def train_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dim", type=int, default=48)
     parser.add_argument("--out", default=None,
                         help="npz path for the trained weights")
+    parser.add_argument("--bundle-out", default=None,
+                        help="directory for a deployable suggester bundle "
+                             "(parallel + all clause models + vocab); "
+                             "serve it with `repro suggest-dir --bundle`")
     args = parser.parse_args(argv)
 
     from repro.eval.config import ExperimentConfig
-    from repro.eval.context import ExperimentContext
+    from repro.eval.context import get_context
     from repro.nn import save_state
 
+    if args.bundle_out and args.model != "graph2par":
+        print("--bundle-out bundles the aug-AST suggester; "
+              "use --model graph2par", file=sys.stderr)
+        return 2
     config = ExperimentConfig(scale=args.scale, seed=args.seed,
                               epochs=args.epochs, dim=args.dim)
-    ctx = ExperimentContext(config)
+    ctx = get_context(config)
     if args.model == "graph2par":
         trained = ctx.graph_model(representation="aug", task=args.task)
     elif args.model == "hgt-ast":
@@ -81,6 +89,12 @@ def train_main(argv: list[str] | None = None) -> int:
     if args.out:
         save_state(trained.trainer.model, args.out)
         print(f"weights saved to {args.out}")
+    if args.bundle_out:
+        from repro.artifacts import SuggesterBundle
+
+        bundle = SuggesterBundle.from_context(ctx)
+        bundle.save(args.bundle_out)
+        print(f"bundle saved to {args.bundle_out} ({bundle.describe()})")
     return 0
 
 
@@ -122,6 +136,14 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="parse-stage worker processes (1 = in-process)")
     parser.add_argument("--batch-size", type=int, default=256,
                         help="graphs per forward pass")
+    parser.add_argument("--bundle", default=None,
+                        help="serve a trained bundle saved by "
+                             "`repro train --bundle-out` (zero training "
+                             "steps); default trains fast-profile models "
+                             "on the fly")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent suggestion cache: warm runs over "
+                             "unchanged files skip parsing and inference")
     parser.add_argument("--scale", type=float, default=0.02,
                         help="training-set scale for the on-the-fly models")
     parser.add_argument("--seed", type=int, default=7)
@@ -133,16 +155,31 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="suppress per-loop output")
     args = parser.parse_args(argv)
 
-    from repro.eval.config import ExperimentConfig
-    from repro.eval.context import get_context
     from repro.serve import ServeConfig, build_service
 
-    ctx = get_context(ExperimentConfig(
-        scale=args.scale, seed=args.seed, epochs=args.epochs, dim=args.dim,
-    ))
-    service = build_service(ctx, ServeConfig(
-        workers=args.workers, batch_size=args.batch_size,
-    ))
+    serve_config = ServeConfig(workers=args.workers,
+                               batch_size=args.batch_size)
+    if args.bundle:
+        from repro.artifacts import ArtifactError, SuggesterBundle
+
+        try:
+            bundle = SuggesterBundle.load(args.bundle)
+        except ArtifactError as exc:
+            print(f"cannot load bundle: {exc}", file=sys.stderr)
+            return 2
+        print(f"loaded {bundle.describe()}")
+        service = build_service(bundle, serve_config,
+                                cache_dir=args.cache_dir)
+    else:
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import get_context
+
+        ctx = get_context(ExperimentConfig(
+            scale=args.scale, seed=args.seed, epochs=args.epochs,
+            dim=args.dim,
+        ))
+        service = build_service(ctx, serve_config,
+                                cache_dir=args.cache_dir)
     start = time.perf_counter()
     results = service.suggest_dir(args.directory, pattern=args.pattern)
     elapsed = time.perf_counter() - start
@@ -167,21 +204,18 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     print(f"{n_loops} loops across {len(results)} files "
           f"({n_errors} unparseable) in {elapsed:.2f}s "
           f"({rate:.0f} loops/s)")
+    if args.cache_dir:
+        stats = service.cache_stats()
+        store, forwards = stats["store"], stats["forwards"]
+        print(f"cache: {store['suggest_hits']} files warm, "
+              f"{store['suggest_misses']} computed "
+              f"({forwards['graphs']} graph forwards)")
     if args.out:
         payload = [
             {
                 "file": r.name,
                 "error": r.error,
-                "suggestions": [
-                    {
-                        "loop_source": s.loop_source,
-                        "parallel": s.parallel,
-                        "pragma": s.pragma,
-                        "clause_families": s.clause_families,
-                        "rationale": s.rationale,
-                    }
-                    for s in r.suggestions
-                ],
+                "suggestions": [s.to_dict() for s in r.suggestions],
             }
             for r in results
         ]

@@ -113,6 +113,25 @@ class TrainedGraphModel:
             tuple(sorted(self.vocab.texts.tokens.items())),
         )
 
+    def fingerprint(self) -> str:
+        """SHA-256 identity of (architecture, task, vocab, weights).
+
+        Two models with the same fingerprint produce the same
+        predictions, so the persistent suggestion store keys cached
+        results on it: retraining or swapping a bundle changes the
+        fingerprint and invalidates stale suggestions.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"{type(self.trainer.model).__qualname__}:"
+                 f"{self.representation}:{self.task}:".encode("utf-8"))
+        h.update(self.vocab.content_hash().encode("utf-8"))
+        for name, arr in sorted(self.trainer.model.state_dict().items()):
+            h.update(name.encode("utf-8"))
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
+
     def evaluate_samples(self, samples: list[LoopSample]) -> dict:
         data, _ = prepare_graph_data(
             samples, representation=self.representation, vocab=self.vocab,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,6 +54,16 @@ class Vocab:
     def to_dict(self) -> dict:
         return {"tokens": self.tokens, "frozen": self.frozen}
 
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical token mapping.
+
+        Stable across processes and (de)serialization round trips, so
+        persisted artifacts can verify that a weight archive and a
+        vocabulary were produced together.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, data: dict) -> "Vocab":
         v = cls(tokens=dict(data["tokens"]))
@@ -85,11 +96,16 @@ class GraphVocab:
         self.texts.freeze()
         return self
 
+    def to_dict(self) -> dict:
+        return {"types": self.types.to_dict(), "texts": self.texts.to_dict()}
+
+    def content_hash(self) -> str:
+        """SHA-256 over both vocabularies' canonical content."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps({
-            "types": self.types.to_dict(),
-            "texts": self.texts.to_dict(),
-        }))
+        Path(path).write_text(json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "GraphVocab":

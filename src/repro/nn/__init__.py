@@ -23,7 +23,7 @@ from repro.nn.module import (
     Sequential,
 )
 from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm, cosine_schedule
-from repro.nn.serialize import load_state, save_state
+from repro.nn.serialize import SerializeError, load_state, save_state
 
 __all__ = [
     "Tensor",
@@ -47,4 +47,5 @@ __all__ = [
     "cosine_schedule",
     "save_state",
     "load_state",
+    "SerializeError",
 ]

@@ -90,12 +90,15 @@ class Module:
         if missing or extra:
             raise KeyError(f"state mismatch: missing={sorted(missing)[:5]}, "
                            f"extra={sorted(extra)[:5]}")
+        # validate every shape before touching any parameter: a
+        # mid-loop failure must not leave the module half-loaded
         for name, p in own.items():
             if p.data.shape != state[name].shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {p.data.shape} vs "
                     f"{state[name].shape}"
                 )
+        for name, p in own.items():
             p.data = state[name].astype(np.float32).copy()
 
     def __call__(self, *args, **kwargs):

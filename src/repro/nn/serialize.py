@@ -1,12 +1,23 @@
-"""Model (de)serialization as ``.npz`` archives."""
+"""Model (de)serialization as ``.npz`` archives.
+
+Loading is strict: the archive must carry exactly the module's
+parameter set with matching shapes, and unreadable (truncated,
+corrupt, missing) archives surface as :class:`SerializeError` with the
+offending path — a partially applied state dict is never left behind.
+"""
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.module import Module
+
+
+class SerializeError(RuntimeError):
+    """A weight archive could not be read or does not match the module."""
 
 
 def save_state(module: Module, path: str | Path) -> None:
@@ -16,7 +27,26 @@ def save_state(module: Module, path: str | Path) -> None:
 
 
 def load_state(module: Module, path: str | Path) -> None:
-    """Load parameters saved by :func:`save_state` into ``module``."""
-    with np.load(str(path)) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Raises :class:`SerializeError` when the archive is unreadable
+    (truncated/corrupt/missing) or when its keys or shapes disagree
+    with the module — never silently partial-loads.
+    """
+    try:
+        with np.load(str(path)) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        raise SerializeError(
+            f"cannot read weight archive {path}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        # load_state_dict validates keys and shapes (all before any
+        # copy); add the archive path the module can't know about
+        raise SerializeError(
+            f"weight archive {path} does not match the module: "
+            f"{exc.args[0] if exc.args else exc}"
+        ) from exc

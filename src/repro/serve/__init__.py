@@ -5,7 +5,10 @@ it parses many C files (optionally across worker processes), extracts
 every outermost loop with per-function liveness, encodes each distinct
 loop once against a shared vocabulary, and runs one block-diagonal
 batched forward per model for the entire workload before fanning the
-results back out per file.
+results back out per file.  A :class:`SuggestionStore` persists parse
+results and finished suggestions across processes, keyed by file
+content hash and model fingerprint, so warm runs over unchanged files
+skip both the frontend and every model forward.
 """
 
 from repro.serve.parse import ParsedFile, parse_many, parse_one
@@ -15,13 +18,17 @@ from repro.serve.pipeline import (
     SuggestionService,
     build_service,
 )
+from repro.serve.store import STORE_VERSION, SuggestionStore, content_key
 
 __all__ = [
     "FileSuggestions",
     "ParsedFile",
+    "STORE_VERSION",
     "ServeConfig",
     "SuggestionService",
+    "SuggestionStore",
     "build_service",
+    "content_key",
     "parse_many",
     "parse_one",
 ]

@@ -27,6 +27,33 @@ class ParsedFile:
     requests: list[LoopRequest] = field(default_factory=list)
     error: str | None = None
 
+    def to_payload(self) -> dict:
+        """JSON-safe payload for the persistent parse cache.
+
+        Attached ASTs are deliberately dropped (like the process-pool
+        path): cached requests re-parse lazily on use, which keeps the
+        cache plain data and the suggestions identical either way.
+        """
+        return {
+            "error": self.error,
+            "requests": [
+                {"source": r.source, "live_out": sorted(r.live_out)}
+                for r in self.requests
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "ParsedFile":
+        return cls(
+            name=name,
+            requests=[
+                LoopRequest(source=d["source"],
+                            live_out=frozenset(d["live_out"]))
+                for d in payload["requests"]
+            ],
+            error=payload["error"],
+        )
+
 
 def parse_one(item: tuple[str, str], with_asts: bool = True) -> ParsedFile:
     """(name, source) → extracted loop requests, or a per-file error.

@@ -12,8 +12,13 @@ build + encode.  :class:`SuggestionService` restructures that into
    workload (chunked at ``batch_size`` graphs for memory),
 4. a fan-out back to per-file :class:`FileSuggestions`.
 
-Predictions are identical to the per-loop path: batching only changes
-how many graphs share a forward pass, never a graph's own numbers.
+A :class:`~repro.serve.store.SuggestionStore` extends the caching
+across processes: finished per-file suggestions (keyed by content hash
+and model fingerprint) short-circuit the whole pipeline, and cached
+parse results skip the frontend even when the models changed.
+
+Predictions are identical to the per-loop path: batching and caching
+only change how much work is shared, never a graph's own numbers.
 """
 
 from __future__ import annotations
@@ -22,7 +27,8 @@ import inspect
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.serve.parse import parse_many
+from repro.serve.parse import ParsedFile, parse_many
+from repro.serve.store import SuggestionStore, content_key
 from repro.suggest import LoopRequest, PragmaSuggester, Suggestion
 
 
@@ -47,6 +53,66 @@ class FileSuggestions:
     def n_parallel(self) -> int:
         return sum(s.parallel for s in self.suggestions)
 
+    def to_payload(self) -> dict:
+        """JSON-safe payload (minus the name: the store keys on
+        content, and the same content may live under many names)."""
+        return {
+            "error": self.error,
+            "suggestions": [s.to_dict() for s in self.suggestions],
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "FileSuggestions":
+        return cls(
+            name=name,
+            suggestions=[Suggestion.from_dict(d)
+                         for d in payload["suggestions"]],
+            error=payload["error"],
+        )
+
+
+def _revive(cls, name: str, payload: dict):
+    """``cls.from_payload`` with store semantics: entries that don't
+    match the expected shape (same-version schema drift, hand edits)
+    degrade to cache misses, never abort the run."""
+    try:
+        return cls.from_payload(name, payload)
+    except (KeyError, TypeError, AttributeError):
+        return None
+
+
+def _model_fingerprint(model, require: bool = False) -> str:
+    """Identity string for the persistent store's model key.
+
+    With ``require`` (a persistent store is configured), a model
+    without ``fingerprint()`` is an error: falling back to its class
+    name would hand retrained weights another model's cached
+    suggestions.
+    """
+    fp = getattr(model, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    if require:
+        raise ValueError(
+            f"{type(model).__qualname__} exposes no fingerprint(); a "
+            f"persistent SuggestionStore needs one to invalidate cached "
+            f"suggestions when models change"
+        )
+    return f"{type(model).__module__}.{type(model).__qualname__}"
+
+
+class _CountingModel:
+    """``predict_samples`` pass-through that counts model forwards."""
+
+    def __init__(self, model, forwards: dict) -> None:
+        self.model = model
+        self.forwards = forwards
+
+    def predict_samples(self, samples):
+        self.forwards["calls"] += 1
+        self.forwards["graphs"] += len(samples)
+        return self.model.predict_samples(samples)
+
 
 class _BatchedGraphModel:
     """``predict_samples`` adapter: shared encode cache + pre-encoded
@@ -56,10 +122,11 @@ class _BatchedGraphModel:
     same predicted-parallel subset) reuse one collated batch."""
 
     def __init__(self, model, cache, batch_size: int,
-                 collate_cache: dict) -> None:
+                 collate_cache: dict, forwards: dict) -> None:
         self.model = model
         self.cache = cache
         self.batch_size = batch_size
+        self.forwards = forwards
         # Probe once whether the model's predict_encoded can share
         # collated batches; catching TypeError per call would mask
         # genuine type bugs inside prediction.
@@ -74,6 +141,8 @@ class _BatchedGraphModel:
         graphs = [
             self.cache.encode_loop(s.source, loop=s.ast()) for s in samples
         ]
+        self.forwards["calls"] += 1
+        self.forwards["graphs"] += len(graphs)
         if self.collate_cache is not None:
             return self.model.predict_encoded(
                 graphs, batch_size=self.batch_size,
@@ -92,31 +161,53 @@ class SuggestionService:
     (:class:`~repro.eval.context.TrainedGraphModel` does) are routed
     through shared encode caches; anything else still gets one batched
     ``predict_samples`` call per model.
+
+    ``store`` plugs in a persistent :class:`SuggestionStore`: files
+    whose (content hash, model fingerprint) already have stored
+    suggestions skip parsing *and* inference entirely, and cached
+    parse results survive model swaps.
     """
 
     def __init__(self, parallel_model, clause_models: dict,
-                 config: ServeConfig | None = None) -> None:
+                 config: ServeConfig | None = None,
+                 store: SuggestionStore | None = None) -> None:
         self.config = config or ServeConfig()
+        self.store = store
+        self._model_key = self._compute_model_key(
+            parallel_model, clause_models, require=store is not None,
+        )
         self._caches: dict[tuple, object] = {}
         self._collate_cache: dict = {}
+        self._forwards = {"calls": 0, "graphs": 0}
         self.suggester = PragmaSuggester(
             self._wrap(parallel_model),
             {name: self._wrap(m) for name, m in clause_models.items()},
         )
+
+    @staticmethod
+    def _compute_model_key(parallel_model, clause_models: dict,
+                           require: bool = False) -> str:
+        import hashlib
+
+        parts = [_model_fingerprint(parallel_model, require)] + [
+            f"{name}:{_model_fingerprint(model, require)}"
+            for name, model in sorted(clause_models.items())
+        ]
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
     def _wrap(self, model):
         if not all(
             hasattr(model, attr)
             for attr in ("predict_encoded", "encode_cache", "encoder_key")
         ):
-            return model
+            return _CountingModel(model, self._forwards)
         key = model.encoder_key()
         cache = self._caches.get(key)
         if cache is None:
             cache = model.encode_cache(max_entries=self.config.cache_entries)
             self._caches[key] = cache
         return _BatchedGraphModel(model, cache, self.config.batch_size,
-                                  self._collate_cache)
+                                  self._collate_cache, self._forwards)
 
     # -- entry points --------------------------------------------------------
 
@@ -125,10 +216,44 @@ class SuggestionService:
     ) -> list[FileSuggestions]:
         """Suggestions for many ``(name, source)`` pairs at once.
 
-        All loops of all files go through one ``suggest_batch`` call, so
-        every model runs a single batched forward for the whole workload.
+        All loops of all files needing compute go through one
+        ``suggest_batch`` call, so every model runs a single batched
+        forward for the whole workload.  With a persistent store,
+        files with cached suggestions never reach the parse stage, and
+        files with cached parses never reach the frontend.
         """
-        parsed = parse_many(named_sources, workers=self.config.workers)
+        named = list(named_sources)
+        store = self.store
+        results: list[FileSuggestions | None] = [None] * len(named)
+        if store is not None:
+            keys = [content_key(source) for _, source in named]
+            for i, (name, _) in enumerate(named):
+                payload = store.get_suggestions(self._model_key, keys[i])
+                if payload is not None:
+                    results[i] = _revive(FileSuggestions, name, payload)
+        pending = [i for i in range(len(named)) if results[i] is None]
+
+        # parse stage: store-cached parses first, frontend for the rest
+        parsed_by_index: dict[int, ParsedFile] = {}
+        to_parse = pending
+        if store is not None:
+            to_parse = []
+            for i in pending:
+                payload = store.get_parse(keys[i])
+                revived = (None if payload is None else
+                           _revive(ParsedFile, named[i][0], payload))
+                if revived is not None:
+                    parsed_by_index[i] = revived
+                else:
+                    to_parse.append(i)
+        fresh = parse_many([named[i] for i in to_parse],
+                           workers=self.config.workers)
+        for i, pf in zip(to_parse, fresh):
+            parsed_by_index[i] = pf
+            if store is not None:
+                store.put_parse(keys[i], pf.to_payload())
+
+        parsed = [parsed_by_index[i] for i in pending]
         spans: list[tuple[int, int]] = []
         flat: list[LoopRequest] = []
         for pf in parsed:
@@ -139,11 +264,15 @@ class SuggestionService:
         self._collate_cache.clear()
         suggestions = self.suggester.suggest_batch(flat) if flat else []
         self._collate_cache.clear()
-        return [
-            FileSuggestions(name=pf.name, suggestions=suggestions[lo:hi],
-                            error=pf.error)
-            for pf, (lo, hi) in zip(parsed, spans)
-        ]
+        for i, pf, (lo, hi) in zip(pending, parsed, spans):
+            fs = FileSuggestions(name=pf.name,
+                                 suggestions=suggestions[lo:hi],
+                                 error=pf.error)
+            results[i] = fs
+            if store is not None:
+                store.put_suggestions(self._model_key, keys[i],
+                                      fs.to_payload())
+        return results
 
     def suggest_paths(self, paths) -> list[FileSuggestions]:
         named = [
@@ -161,24 +290,58 @@ class SuggestionService:
     # -- introspection -------------------------------------------------------
 
     def cache_stats(self) -> dict:
-        """Hit/miss/entry counts per shared encode cache."""
-        return {
+        """Hit/miss/entry counts per shared encode cache, model-forward
+        totals, and (when configured) persistent-store hit rates."""
+        stats = {
             f"{key[0]}#{i}": cache.stats()
             for i, (key, cache) in enumerate(sorted(
                 self._caches.items(), key=lambda kv: kv[0][0],
             ))
         }
+        stats["forwards"] = dict(self._forwards)
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
 
 
-def build_service(context, config: ServeConfig | None = None,
-                  clauses: tuple[str, ...] = ("reduction", "private",
-                                              "simd", "target"),
+#: clause families a context-backed service trains by default
+DEFAULT_CLAUSES = ("reduction", "private", "simd", "target")
+
+
+def build_service(source, config: ServeConfig | None = None,
+                  clauses: tuple[str, ...] | None = None,
+                  cache_dir: str | Path | None = None,
                   ) -> SuggestionService:
-    """A service over one :class:`~repro.eval.context.ExperimentContext`'s
-    trained aug-AST models (training them on first use)."""
-    parallel = context.graph_model(representation="aug", task="parallel")
-    clause_models = {
-        clause: context.graph_model(representation="aug", task=clause)
-        for clause in clauses
-    }
-    return SuggestionService(parallel, clause_models, config)
+    """A service over trained aug-AST suggester models.
+
+    ``source`` is either an
+    :class:`~repro.eval.context.ExperimentContext` (models train on
+    first use) or a loaded
+    :class:`~repro.artifacts.SuggesterBundle` (zero training steps).
+    ``clauses`` selects the clause families to serve; ``None`` means
+    :data:`DEFAULT_CLAUSES` for a context and everything the bundle
+    ships for a bundle (asking a bundle for a family it lacks is an
+    error).  ``cache_dir`` adds a persistent :class:`SuggestionStore`
+    so warm runs over unchanged files skip parsing and inference
+    entirely.
+    """
+    store = SuggestionStore(cache_dir) if cache_dir is not None else None
+    if hasattr(source, "graph_model"):
+        parallel = source.graph_model(representation="aug", task="parallel")
+        clause_models = {
+            clause: source.graph_model(representation="aug", task=clause)
+            for clause in (DEFAULT_CLAUSES if clauses is None else clauses)
+        }
+    else:
+        parallel = source.parallel
+        if clauses is None:
+            clause_models = dict(source.clause_models)
+        else:
+            absent = [c for c in clauses if c not in source.clause_models]
+            if absent:
+                raise ValueError(
+                    f"bundle has no clause model(s) {absent}; "
+                    f"available: {sorted(source.clause_models)}"
+                )
+            clause_models = {c: source.clause_models[c] for c in clauses}
+    return SuggestionService(parallel, clause_models, config, store=store)

@@ -1,0 +1,118 @@
+"""Persistent (cross-process) caches for the suggestion service.
+
+The in-memory :class:`~repro.graphs.encode.EncodeCache` dies with the
+process; this store survives it.  Two layers, both keyed by the
+SHA-256 of a file's *content* (renames stay warm, edits invalidate
+exactly the files they touch):
+
+``parse/``
+    extracted loop requests per file — model-independent, so a new
+    bundle still reuses the expensive pure-python frontend work.
+``suggest/<model_key>/``
+    finished per-file suggestions, additionally keyed by the serving
+    models' fingerprint so retrained or swapped models never replay
+    stale advice.
+
+Layout: ``<root>/v<STORE_VERSION>/{parse,suggest/<model_key>}/<sha>.json``.
+Writes go through a temp file + :func:`os.replace`, so concurrent
+writers (the multiprocess parse stage, parallel ``suggest-dir`` runs
+over one cache) can only ever observe complete entries; unreadable or
+torn entries degrade to cache misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: bump when cached payload shapes change incompatibly
+STORE_VERSION = 1
+
+
+def content_key(source: str) -> str:
+    """Cache key of one file: SHA-256 over its exact content."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SuggestionStore:
+    """Disk-backed parse + suggestion cache rooted at ``root``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root) / f"v{STORE_VERSION}"
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.suggest_hits = 0
+        self.suggest_misses = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _parse_path(self, key: str) -> Path:
+        return self.root / "parse" / f"{key}.json"
+
+    def _suggest_path(self, model_key: str, key: str) -> Path:
+        return self.root / "suggest" / model_key / f"{key}.json"
+
+    # -- raw IO --------------------------------------------------------------
+
+    @staticmethod
+    def _read(path: Path) -> dict | None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _write(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- parse layer ---------------------------------------------------------
+
+    def get_parse(self, key: str) -> dict | None:
+        payload = self._read(self._parse_path(key))
+        if payload is None:
+            self.parse_misses += 1
+        else:
+            self.parse_hits += 1
+        return payload
+
+    def put_parse(self, key: str, payload: dict) -> None:
+        self._write(self._parse_path(key), payload)
+
+    # -- suggestion layer ----------------------------------------------------
+
+    def get_suggestions(self, model_key: str, key: str) -> dict | None:
+        payload = self._read(self._suggest_path(model_key, key))
+        if payload is None:
+            self.suggest_misses += 1
+        else:
+            self.suggest_hits += 1
+        return payload
+
+    def put_suggestions(self, model_key: str, key: str,
+                        payload: dict) -> None:
+        self._write(self._suggest_path(model_key, key), payload)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "suggest_hits": self.suggest_hits,
+            "suggest_misses": self.suggest_misses,
+        }

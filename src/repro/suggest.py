@@ -40,6 +40,26 @@ class Suggestion:
             return f"// keep sequential: {self.rationale}\n{self.loop_source}"
         return f"{self.pragma}\n{self.loop_source}"
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload (CLI output and the persistent store)."""
+        return {
+            "loop_source": self.loop_source,
+            "parallel": self.parallel,
+            "pragma": self.pragma,
+            "clause_families": list(self.clause_families),
+            "rationale": self.rationale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Suggestion":
+        return cls(
+            loop_source=data["loop_source"],
+            parallel=bool(data["parallel"]),
+            pragma=data.get("pragma"),
+            clause_families=list(data.get("clause_families") or []),
+            rationale=data.get("rationale", ""),
+        )
+
 
 @dataclass(frozen=True)
 class LoopRequest:

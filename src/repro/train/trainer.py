@@ -121,14 +121,26 @@ def _class_weights(labels: np.ndarray, num_classes: int) -> np.ndarray:
 
 
 class GraphTrainer:
-    """Trains a Graph2Par/GCN model on encoded graphs."""
+    """Trains a Graph2Par/GCN model on encoded graphs.
+
+    Also the inference shell around bundle-loaded models: the Adam
+    state (two moment buffers per parameter) only materialises when
+    something actually optimises, so predict-only trainers never pay
+    for it.
+    """
 
     def __init__(self, model, config: TrainConfig | None = None) -> None:
         self.model = model
         self.config = config or TrainConfig()
-        self.opt = Adam(model.parameters(), lr=self.config.lr,
-                        weight_decay=self.config.weight_decay)
+        self._opt: Adam | None = None
         self.history: list[dict] = []
+
+    @property
+    def opt(self) -> Adam:
+        if self._opt is None:
+            self._opt = Adam(self.model.parameters(), lr=self.config.lr,
+                             weight_decay=self.config.weight_decay)
+        return self._opt
 
     def fit(self, train_data: list[EncodedGraph],
             val_data: list[EncodedGraph] | None = None) -> list[dict]:
@@ -205,14 +217,24 @@ class GraphTrainer:
 
 
 class TokenTrainer:
-    """Trains PragFormer on (ids, mask, labels) arrays."""
+    """Trains PragFormer on (ids, mask, labels) arrays.
+
+    Like :class:`GraphTrainer`, the optimizer state is lazy so
+    inference-only (bundle-loaded) trainers never allocate it.
+    """
 
     def __init__(self, model, config: TrainConfig | None = None) -> None:
         self.model = model
         self.config = config or TrainConfig()
-        self.opt = Adam(model.parameters(), lr=self.config.lr,
-                        weight_decay=self.config.weight_decay)
+        self._opt: Adam | None = None
         self.history: list[dict] = []
+
+    @property
+    def opt(self) -> Adam:
+        if self._opt is None:
+            self._opt = Adam(self.model.parameters(), lr=self.config.lr,
+                             weight_decay=self.config.weight_decay)
+        return self._opt
 
     def fit(self, ids: np.ndarray, mask: np.ndarray, labels: np.ndarray,
             val: tuple | None = None) -> list[dict]:

@@ -1,0 +1,101 @@
+"""Strictness tests for npz weight archives.
+
+``load_state`` must never silently partial-load: truncated or corrupt
+archives, missing/extra keys, and shape mismatches all raise
+:class:`SerializeError` with the offending path, and the module's
+parameters are untouched afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    MLP,
+    SerializeError,
+    Sequential,
+    load_state,
+    save_state,
+)
+
+
+def _module():
+    return Sequential(Linear(6, 6), MLP([6, 8, 2]))
+
+
+def _snapshot(module):
+    return {k: v.copy() for k, v in module.state_dict().items()}
+
+
+def _assert_untouched(module, before):
+    after = module.state_dict()
+    assert sorted(after) == sorted(before)
+    for name in before:
+        assert np.array_equal(after[name], before[name])
+
+
+class TestStrictLoadState:
+    def test_round_trip(self, tmp_path):
+        a, b = _module(), _module()
+        path = tmp_path / "m.npz"
+        save_state(a, path)
+        load_state(b, path)
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            assert pa.data.tobytes() == pb.data.tobytes()
+
+    def test_truncated_archive_raises_clearly(self, tmp_path):
+        a, b = _module(), _module()
+        path = tmp_path / "m.npz"
+        save_state(a, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        before = _snapshot(b)
+        with pytest.raises(SerializeError, match="cannot read"):
+            load_state(b, path)
+        _assert_untouched(b, before)
+
+    def test_missing_archive_raises_clearly(self, tmp_path):
+        with pytest.raises(SerializeError, match="cannot read"):
+            load_state(_module(), tmp_path / "absent.npz")
+
+    def test_missing_keys_raise(self, tmp_path):
+        a = _module()
+        state = a.state_dict()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(str(path), **state)
+        b = _module()
+        before = _snapshot(b)
+        with pytest.raises(SerializeError, match="missing"):
+            load_state(b, path)
+        _assert_untouched(b, before)
+
+    def test_extra_keys_raise(self, tmp_path):
+        a = _module()
+        state = a.state_dict()
+        state["phantom.weight"] = np.zeros(3, dtype=np.float32)
+        path = tmp_path / "extra.npz"
+        np.savez_compressed(str(path), **state)
+        with pytest.raises(SerializeError, match="extra"):
+            load_state(_module(), path)
+
+    def test_shape_mismatch_raises_before_any_copy(self, tmp_path):
+        a = _module()
+        state = a.state_dict()
+        first = sorted(state)[0]
+        state[first] = np.zeros((1, 1), dtype=np.float32)
+        path = tmp_path / "shapes.npz"
+        np.savez_compressed(str(path), **state)
+        b = _module()
+        before = _snapshot(b)
+        with pytest.raises(SerializeError, match="shape"):
+            load_state(b, path)
+        _assert_untouched(b, before)
+
+    def test_error_names_the_path(self, tmp_path):
+        path = tmp_path / "somewhere.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(SerializeError, match="somewhere.npz"):
+            load_state(_module(), path)

@@ -36,6 +36,69 @@ class TestTrainCLI:
         assert "accuracy" in capsys.readouterr().out
 
 
+class TestBundleCLI:
+    """`repro train --bundle-out` → `repro suggest-dir --bundle`.
+
+    The bundle-served path must reproduce the in-process
+    (train-on-the-fly) path byte-for-byte, with zero training steps at
+    serve time, and a second `--cache-dir` run must do zero model
+    forwards.
+    """
+
+    FLAGS = ["--scale", "0.005", "--epochs", "1", "--dim", "16"]
+
+    def test_bundle_reproduces_in_process_path(self, tmp_path, capsys,
+                                               monkeypatch):
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "kernel.c").write_text(TestSuggestDirCLI.SOURCE)
+        bundle = tmp_path / "bundle"
+        assert main(["train", *self.FLAGS,
+                     "--bundle-out", str(bundle)]) == 0
+        assert (bundle / "manifest.json").exists()
+
+        golden = tmp_path / "golden.json"
+        assert main(["suggest-dir", str(src_dir), *self.FLAGS,
+                     "--quiet", "--out", str(golden)]) == 0
+
+        # serve from the bundle: training is forbidden from here on
+        from repro.train import GraphTrainer
+
+        def boom(*args, **kwargs):
+            raise AssertionError("--bundle serving must not train")
+
+        monkeypatch.setattr(GraphTrainer, "fit", boom)
+        served = tmp_path / "served.json"
+        cache = tmp_path / "cache"
+        assert main(["suggest-dir", str(src_dir), "--bundle", str(bundle),
+                     "--cache-dir", str(cache), "--quiet",
+                     "--out", str(served)]) == 0
+        assert served.read_bytes() == golden.read_bytes()
+
+        # warm run: zero model forwards on the unchanged corpus
+        warm = tmp_path / "warm.json"
+        assert main(["suggest-dir", str(src_dir), "--bundle", str(bundle),
+                     "--cache-dir", str(cache), "--quiet",
+                     "--out", str(warm)]) == 0
+        text = capsys.readouterr().out
+        assert "1 files warm, 0 computed (0 graph forwards)" in text
+        assert warm.read_bytes() == golden.read_bytes()
+
+    def test_bundle_out_requires_graph2par(self, capsys, tmp_path):
+        code = main(["train", "--model", "gcn", *self.FLAGS,
+                     "--bundle-out", str(tmp_path / "b")])
+        assert code == 2
+        assert "graph2par" in capsys.readouterr().err
+
+    def test_suggest_dir_rejects_bad_bundle(self, tmp_path, capsys):
+        (tmp_path / "corpus").mkdir()
+        (tmp_path / "corpus" / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        code = main(["suggest-dir", str(tmp_path / "corpus"),
+                     "--bundle", str(tmp_path / "not-a-bundle")])
+        assert code == 2
+        assert "cannot load bundle" in capsys.readouterr().err
+
+
 class TestSuggestDirCLI:
     SOURCE = """
     double a[64], b[64]; double s;
