@@ -24,7 +24,12 @@ from repro.artifacts.model_io import (
     load_trained,
     save_trained,
 )
-from repro.artifacts.bundle import BundleError, SuggesterBundle
+from repro.artifacts.bundle import (
+    BundleError,
+    SuggesterBundle,
+    pack_bundle,
+    unpack_bundle,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -33,5 +38,7 @@ __all__ = [
     "SuggesterBundle",
     "family_of",
     "load_trained",
+    "pack_bundle",
     "save_trained",
+    "unpack_bundle",
 ]

@@ -15,10 +15,19 @@ All models of a suggester are trained on the same split and therefore
 share one vocabulary; the bundle stores it once and every model
 records its SHA-256, so a bundle stitched together from mismatched
 halves refuses to load.
+
+A bundle also travels as a *single archive file* (gzipped tar of the
+directory layout): :func:`pack_bundle` / :func:`unpack_bundle` convert
+between the two, :meth:`SuggesterBundle.export_archive` writes one
+directly, and :meth:`SuggesterBundle.load` auto-detects which form it
+was given — so one ``scp``-able file ships a whole advisor to shard
+workers and remote machines.
 """
 
 from __future__ import annotations
 
+import tarfile
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -52,6 +61,11 @@ class SuggesterBundle:
     parallel: object
     clause_models: dict[str, object]
     experiment: dict | None = field(default=None)
+    #: where this bundle was loaded from (directory or archive), when
+    #: it came from disk — shard workers reload the artifact from here
+    #: instead of receiving pickled weights
+    source_path: str | None = field(default=None, compare=False,
+                                    repr=False)
 
     @property
     def vocab(self) -> GraphVocab:
@@ -104,9 +118,43 @@ class SuggesterBundle:
         })
         return directory
 
+    def export_archive(self, path: str | Path) -> Path:
+        """Write the bundle as one gzipped-tar archive file.
+
+        The archive holds exactly the directory layout (manifest at
+        the top level), so ``pack → unpack`` round-trips byte-for-byte
+        and :meth:`load` accepts either form.
+        """
+        path = Path(path)
+        with tempfile.TemporaryDirectory(prefix="bundle-") as tmp:
+            staged = Path(tmp) / "bundle"
+            self.save(staged)
+            return pack_bundle(staged, path)
+
     @classmethod
-    def load(cls, directory: str | Path) -> "SuggesterBundle":
-        """Load a saved bundle, verifying version and vocabulary hash."""
+    def load(cls, path: str | Path) -> "SuggesterBundle":
+        """Load a saved bundle from a directory *or* an archive file.
+
+        Auto-detects the form: a directory loads in place; a regular
+        file is treated as a :func:`pack_bundle` archive and unpacked
+        to a temporary directory first (everything — vocab, configs,
+        weights — is materialised in memory, so nothing outlives the
+        extraction).  Either way the loaded bundle records its
+        ``source_path`` so shard workers can re-load the same artifact.
+        """
+        path = Path(path)
+        if path.is_file():
+            with tempfile.TemporaryDirectory(prefix="bundle-") as tmp:
+                bundle = cls._load_dir(unpack_bundle(path, Path(tmp) / "x"))
+            bundle.source_path = str(path)
+            return bundle
+        bundle = cls._load_dir(path)
+        bundle.source_path = str(path)
+        return bundle
+
+    @classmethod
+    def _load_dir(cls, directory: str | Path) -> "SuggesterBundle":
+        """Load a bundle directory, verifying version and vocab hash."""
         directory = Path(directory)
         try:
             manifest = _read_json(directory / "manifest.json")
@@ -162,3 +210,79 @@ class SuggesterBundle:
             f"vocab {self.vocab.content_hash()[:12]}"
             + (f", trained at scale={scale}" if scale is not None else "")
         )
+
+
+# -- archive form ------------------------------------------------------------
+
+
+def pack_bundle(directory: str | Path, archive: str | Path) -> Path:
+    """Pack a saved bundle directory into one gzipped-tar archive.
+
+    Members are stored relative to the bundle root in sorted order
+    (manifest first only by name), so packing the same directory twice
+    yields the same member list.  Refuses anything that is not a
+    bundle directory — archiving an arbitrary tree would just defer
+    the failure to some other machine's load.
+    """
+    directory = Path(directory)
+    manifest = directory / "manifest.json"
+    if not directory.is_dir() or not manifest.is_file():
+        raise BundleError(
+            f"{directory} is not a saved bundle directory "
+            f"(missing manifest.json); save or unpack one first"
+        )
+    meta = _read_json(manifest)
+    if meta.get("kind") != "suggester-bundle":
+        raise BundleError(
+            f"{directory} is not a suggester bundle "
+            f"(kind={meta.get('kind')!r})"
+        )
+    archive = Path(archive)
+    archive.parent.mkdir(parents=True, exist_ok=True)
+    with tarfile.open(archive, "w:gz") as tar:
+        for member in sorted(directory.rglob("*")):
+            tar.add(member, arcname=str(member.relative_to(directory)),
+                    recursive=False)
+    return archive
+
+
+def unpack_bundle(archive: str | Path, directory: str | Path) -> Path:
+    """Extract a :func:`pack_bundle` archive into ``directory``.
+
+    Extraction is strict: only regular files and directories with
+    plain relative names are accepted — a crafted archive with
+    absolute paths, ``..`` components, links, or device nodes raises
+    :class:`BundleError` instead of writing outside the target.
+    """
+    archive = Path(archive)
+    directory = Path(directory)
+    try:
+        tar = tarfile.open(archive, "r:*")
+    except (OSError, tarfile.TarError) as exc:
+        raise BundleError(
+            f"cannot read bundle archive {archive}: {exc}"
+        ) from exc
+    with tar:
+        for member in tar.getmembers():
+            name = Path(member.name)
+            if not (member.isreg() or member.isdir()):
+                raise BundleError(
+                    f"bundle archive {archive} contains non-file member "
+                    f"{member.name!r}; refusing to extract"
+                )
+            if name.is_absolute() or ".." in name.parts:
+                raise BundleError(
+                    f"bundle archive {archive} contains unsafe path "
+                    f"{member.name!r}; refusing to extract"
+                )
+        directory.mkdir(parents=True, exist_ok=True)
+        try:
+            tar.extractall(directory, filter="data")
+        except TypeError:  # pre-3.11.4 tarfile: no filter= keyword
+            tar.extractall(directory)
+    if not (directory / "manifest.json").is_file():
+        raise BundleError(
+            f"{archive} unpacked without a manifest.json; "
+            f"it is not a bundle archive"
+        )
+    return directory

@@ -4,8 +4,17 @@
 ``repro-train``    train Graph2Par / PragFormer / the GCN ablation
 ``repro-eval``     regenerate the paper's tables and figures
 
-``repro <command>`` bundles them, plus ``repro suggest-dir`` — the
-batched suggestion service over a whole directory of C files.
+``repro <command>`` bundles them, plus:
+
+``repro suggest-dir``  the sharded, streaming suggestion service over
+                       a whole directory of C files (``--shards N``
+                       fans the pipeline out end-to-end across worker
+                       processes; ``--stream`` emits NDJSON per file
+                       as results land)
+``repro bundle``       pack/unpack a saved suggester bundle to/from a
+                       single archive file
+``repro cache``        maintain a persistent suggestion cache
+                       (``gc`` prunes by size/age)
 """
 
 from __future__ import annotations
@@ -59,9 +68,11 @@ def train_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None,
                         help="npz path for the trained weights")
     parser.add_argument("--bundle-out", default=None,
-                        help="directory for a deployable suggester bundle "
-                             "(parallel + all clause models + vocab); "
-                             "serve it with `repro suggest-dir --bundle`")
+                        help="deployable suggester bundle (parallel + all "
+                             "clause models + vocab): a directory, or a "
+                             "single archive file when the path ends in "
+                             ".tar.gz/.tgz; serve it with "
+                             "`repro suggest-dir --bundle`")
     args = parser.parse_args(argv)
 
     from repro.eval.config import ExperimentConfig
@@ -93,7 +104,10 @@ def train_main(argv: list[str] | None = None) -> int:
         from repro.artifacts import SuggesterBundle
 
         bundle = SuggesterBundle.from_context(ctx)
-        bundle.save(args.bundle_out)
+        if args.bundle_out.endswith((".tar.gz", ".tgz")):
+            bundle.export_archive(args.bundle_out)
+        else:
+            bundle.save(args.bundle_out)
         print(f"bundle saved to {args.bundle_out} ({bundle.describe()})")
     return 0
 
@@ -134,6 +148,14 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="glob for source files (default: *.c)")
     parser.add_argument("--workers", type=int, default=1,
                         help="parse-stage worker processes (1 = in-process)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="end-to-end corpus shards: the whole parse/"
+                             "encode/forward pipeline runs in N worker "
+                             "processes (1 = in-process)")
+    parser.add_argument("--stream", action="store_true",
+                        help="emit one NDJSON record per file on stdout "
+                             "as results complete (summary goes to "
+                             "stderr)")
     parser.add_argument("--batch-size", type=int, default=256,
                         help="graphs per forward pass")
     parser.add_argument("--bundle", default=None,
@@ -158,7 +180,8 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     from repro.serve import ServeConfig, build_service
 
     serve_config = ServeConfig(workers=args.workers,
-                               batch_size=args.batch_size)
+                               batch_size=args.batch_size,
+                               shards=args.shards)
     if args.bundle:
         from repro.artifacts import ArtifactError, SuggesterBundle
 
@@ -167,7 +190,8 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
         except ArtifactError as exc:
             print(f"cannot load bundle: {exc}", file=sys.stderr)
             return 2
-        print(f"loaded {bundle.describe()}")
+        print(f"loaded {bundle.describe()}",
+              file=sys.stderr if args.stream else sys.stdout)
         service = build_service(bundle, serve_config,
                                 cache_dir=args.cache_dir)
     else:
@@ -180,36 +204,61 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
         ))
         service = build_service(ctx, serve_config,
                                 cache_dir=args.cache_dir)
+    from pathlib import Path
+
+    from repro.serve import ServeError
+
+    paths = sorted(Path(args.directory).rglob(args.pattern))
+    summary_out = sys.stderr if args.stream else sys.stdout
     start = time.perf_counter()
-    results = service.suggest_dir(args.directory, pattern=args.pattern)
+    try:
+        if args.stream:
+            # as-completed: the first finished file prints long before
+            # the last shard completes; stdout carries pure NDJSON
+            results = []
+            for r in service.stream_paths(paths, ordered=False):
+                print(json.dumps({
+                    "file": r.name,
+                    "error": r.error,
+                    "suggestions": [s.to_dict() for s in r.suggestions],
+                }), flush=True)
+                results.append(r)
+            by_name = {r.name: r for r in results}
+            results = [by_name[str(p)] for p in paths]
+        else:
+            results = service.suggest_paths(paths)
+    except ServeError as exc:
+        print(f"serving failed: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
     if not results:
-        print(f"no files matching {args.pattern!r} under {args.directory}")
+        print(f"no files matching {args.pattern!r} under {args.directory}",
+              file=summary_out)
         return 1
 
     n_loops = sum(len(r.suggestions) for r in results)
-    n_parallel = sum(r.n_parallel for r in results)
     n_errors = sum(1 for r in results if r.error)
-    for r in results:
-        if r.error:
-            print(f"{r.name}: SKIPPED ({r.error})")
-            continue
-        print(f"{r.name}: {len(r.suggestions)} loops, "
-              f"{r.n_parallel} parallelizable")
-        if not args.quiet:
-            for s in r.suggestions:
-                print("  " + (s.pragma if s.parallel
-                              else f"// sequential: {s.rationale}"))
+    if not args.stream:              # per-file records already emitted
+        for r in results:
+            if r.error:
+                print(f"{r.name}: SKIPPED ({r.error})")
+                continue
+            print(f"{r.name}: {len(r.suggestions)} loops, "
+                  f"{r.n_parallel} parallelizable")
+            if not args.quiet:
+                for s in r.suggestions:
+                    print("  " + (s.pragma if s.parallel
+                                  else f"// sequential: {s.rationale}"))
     rate = n_loops / elapsed if elapsed > 0 else float("inf")
     print(f"{n_loops} loops across {len(results)} files "
           f"({n_errors} unparseable) in {elapsed:.2f}s "
-          f"({rate:.0f} loops/s)")
+          f"({rate:.0f} loops/s)", file=summary_out)
     if args.cache_dir:
         stats = service.cache_stats()
         store, forwards = stats["store"], stats["forwards"]
         print(f"cache: {store['suggest_hits']} files warm, "
               f"{store['suggest_misses']} computed "
-              f"({forwards['graphs']} graph forwards)")
+              f"({forwards['graphs']} graph forwards)", file=summary_out)
     if args.out:
         payload = [
             {
@@ -225,11 +274,77 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def bundle_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bundle",
+        description="Convert a saved suggester bundle between its "
+                    "directory form and a single archive file.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    pack = sub.add_parser("pack",
+                          help="bundle directory -> one archive file")
+    pack.add_argument("directory", help="saved bundle directory")
+    pack.add_argument("archive", help="output archive path (.tar.gz)")
+    unpack = sub.add_parser("unpack",
+                            help="archive file -> bundle directory")
+    unpack.add_argument("archive", help="bundle archive file")
+    unpack.add_argument("directory", help="output directory")
+    args = parser.parse_args(argv)
+
+    from repro.artifacts import BundleError, pack_bundle, unpack_bundle
+
+    try:
+        if args.action == "pack":
+            path = pack_bundle(args.directory, args.archive)
+            print(f"packed {args.directory} -> {path} "
+                  f"({path.stat().st_size} bytes)")
+        else:
+            path = unpack_bundle(args.archive, args.directory)
+            print(f"unpacked {args.archive} -> {path}")
+    except BundleError as exc:
+        print(f"bundle {args.action} failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cache_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Maintain a persistent suggestion cache "
+                    "(the --cache-dir of `repro suggest-dir`).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    gc = sub.add_parser("gc", help="prune the cache by size and/or age")
+    gc.add_argument("cache_dir", help="cache directory to prune")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="keep at most this many bytes of entries "
+                         "(least-recently-written evicted first)")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="drop entries older than this many days")
+    args = parser.parse_args(argv)
+
+    if args.max_bytes is None and args.max_age_days is None:
+        print("cache gc: pass --max-bytes and/or --max-age-days "
+              "(otherwise there is nothing to prune)", file=sys.stderr)
+        return 2
+    from repro.serve import SuggestionStore
+
+    result = SuggestionStore(args.cache_dir).gc(
+        max_bytes=args.max_bytes, max_age_days=args.max_age_days,
+    )
+    print(f"cache gc: removed {result['removed_files']} entries "
+          f"({result['removed_bytes']} bytes), kept "
+          f"{result['kept_files']} ({result['kept_bytes']} bytes)")
+    return 0
+
+
 _COMMANDS = {
     "dataset": dataset_main,
     "train": train_main,
     "eval": eval_main,
     "suggest-dir": suggest_dir_main,
+    "bundle": bundle_main,
+    "cache": cache_main,
 }
 
 

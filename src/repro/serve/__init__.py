@@ -1,14 +1,17 @@
-"""Batched suggestion serving over whole files and directories.
+"""Sharded, streaming suggestion serving over files and directories.
 
-``repro.serve`` is the throughput-oriented face of :mod:`repro.suggest`:
-it parses many C files (optionally across worker processes), extracts
-every outermost loop with per-function liveness, encodes each distinct
-loop once against a shared vocabulary, and runs one block-diagonal
-batched forward per model for the entire workload before fanning the
-results back out per file.  A :class:`SuggestionStore` persists parse
+``repro.serve`` is the throughput-oriented face of :mod:`repro.suggest`,
+built as explicit stages: :mod:`~repro.serve.plan` partitions a corpus
+into size-balanced shards, :mod:`~repro.serve.worker` runs the whole
+parse → encode → block-diagonal forward → fan-out pipeline inside each
+worker process, and :mod:`~repro.serve.stream` streams per-file results
+back over a result queue as they complete — ordered or as-completed.
+:class:`SuggestionService.stream_dir` is the streaming API;
+``suggest_dir`` collects it.  A :class:`SuggestionStore` persists parse
 results and finished suggestions across processes, keyed by file
 content hash and model fingerprint, so warm runs over unchanged files
-skip both the frontend and every model forward.
+skip both the frontend and every model forward — and every shard
+worker consults and commits the same store.
 """
 
 from repro.serve.parse import ParsedFile, parse_many, parse_one
@@ -18,17 +21,26 @@ from repro.serve.pipeline import (
     SuggestionService,
     build_service,
 )
+from repro.serve.plan import Shard, plan_shards
 from repro.serve.store import STORE_VERSION, SuggestionStore, content_key
+from repro.serve.stream import ServeError, merge_results, stream_shards
+from repro.serve.worker import WorkerSpec
 
 __all__ = [
     "FileSuggestions",
     "ParsedFile",
     "STORE_VERSION",
     "ServeConfig",
+    "ServeError",
+    "Shard",
     "SuggestionService",
     "SuggestionStore",
+    "WorkerSpec",
     "build_service",
     "content_key",
+    "merge_results",
     "parse_many",
     "parse_one",
+    "plan_shards",
+    "stream_shards",
 ]

@@ -1,4 +1,4 @@
-"""The batched suggestion pipeline.
+"""The staged, worker-sharded, streaming suggestion pipeline.
 
 Per-loop serving costs ``L×(C+1)`` single-graph forward passes for L
 loops and C clause families, each preceded by its own parse + graph
@@ -12,19 +12,31 @@ build + encode.  :class:`SuggestionService` restructures that into
    workload (chunked at ``batch_size`` graphs for memory),
 4. a fan-out back to per-file :class:`FileSuggestions`.
 
+Corpora additionally shard end-to-end: ``stream_sources`` with
+``shards > 1`` partitions the workload by file size
+(:mod:`repro.serve.plan`), runs the whole parse → encode → forward →
+fan-out pipeline *locally* inside each worker process
+(:mod:`repro.serve.worker`), and yields per-file results as they stream
+back over the result queue (:mod:`repro.serve.stream`) — in input
+order or as completed.  ``suggest_sources`` / ``suggest_dir`` are thin
+collecting wrappers over the stream.
+
 A :class:`~repro.serve.store.SuggestionStore` extends the caching
 across processes: finished per-file suggestions (keyed by content hash
-and model fingerprint) short-circuit the whole pipeline, and cached
-parse results skip the frontend even when the models changed.
+and model fingerprint) short-circuit the whole pipeline, cached parse
+results skip the frontend even when the models changed, and every
+shard worker consults/commits the same store.
 
-Predictions are identical to the per-loop path: batching and caching
-only change how much work is shared, never a graph's own numbers.
+Predictions are identical to the per-loop path: batching, caching and
+sharding only change how much work is shared, never a graph's own
+numbers.
 """
 
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from collections.abc import Iterator
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.serve.parse import ParsedFile, parse_many
@@ -39,6 +51,7 @@ class ServeConfig:
     workers: int = 1          # parse-stage processes (1 = in-process)
     batch_size: int = 256     # graphs per collate in the forward pass
     cache_entries: int = 4096  # per-vocab encode-cache capacity
+    shards: int = 1           # end-to-end corpus shards (1 = in-process)
 
 
 @dataclass
@@ -166,16 +179,25 @@ class SuggestionService:
     whose (content hash, model fingerprint) already have stored
     suggestions skip parsing *and* inference entirely, and cached
     parse results survive model swaps.
+
+    ``bundle_path`` names the on-disk bundle the models were loaded
+    from (when there is one): shard workers then reload the artifact
+    themselves instead of receiving pickled weights, which keeps the
+    spawn payload tiny.
     """
 
     def __init__(self, parallel_model, clause_models: dict,
                  config: ServeConfig | None = None,
-                 store: SuggestionStore | None = None) -> None:
+                 store: SuggestionStore | None = None,
+                 bundle_path: str | Path | None = None) -> None:
         self.config = config or ServeConfig()
         self.store = store
         self._model_key = self._compute_model_key(
             parallel_model, clause_models, require=store is not None,
         )
+        self._source_models = (parallel_model, dict(clause_models))
+        self._bundle_path = (None if bundle_path is None
+                             else str(bundle_path))
         self._caches: dict[tuple, object] = {}
         self._collate_cache: dict = {}
         self._forwards = {"calls": 0, "graphs": 0}
@@ -209,29 +231,34 @@ class SuggestionService:
         return _BatchedGraphModel(model, cache, self.config.batch_size,
                                   self._collate_cache, self._forwards)
 
-    # -- entry points --------------------------------------------------------
+    # -- streaming core ------------------------------------------------------
 
-    def suggest_sources(
+    def iter_sources(
         self, named_sources: list[tuple[str, str]],
-    ) -> list[FileSuggestions]:
-        """Suggestions for many ``(name, source)`` pairs at once.
+    ) -> Iterator[tuple[int, FileSuggestions]]:
+        """Yield ``(input_index, FileSuggestions)`` as files complete.
 
-        All loops of all files needing compute go through one
-        ``suggest_batch`` call, so every model runs a single batched
-        forward for the whole workload.  With a persistent store,
-        files with cached suggestions never reach the parse stage, and
-        files with cached parses never reach the frontend.
+        Completion order inside one workload: store-cached files first
+        (they skip the whole pipeline and cost one disk read each),
+        then computed files in input order once the shared batched
+        forward has run.  This is the in-process streaming core that
+        both the collecting wrappers and the shard workers drive.
         """
         named = list(named_sources)
         store = self.store
-        results: list[FileSuggestions | None] = [None] * len(named)
-        if store is not None:
-            keys = [content_key(source) for _, source in named]
-            for i, (name, _) in enumerate(named):
+        keys = ([content_key(source) for _, source in named]
+                if store is not None else [])
+        pending: list[int] = []
+        for i, (name, _) in enumerate(named):
+            fs = None
+            if store is not None:
                 payload = store.get_suggestions(self._model_key, keys[i])
                 if payload is not None:
-                    results[i] = _revive(FileSuggestions, name, payload)
-        pending = [i for i in range(len(named)) if results[i] is None]
+                    fs = _revive(FileSuggestions, name, payload)
+            if fs is not None:
+                yield i, fs
+            else:
+                pending.append(i)
 
         # parse stage: store-cached parses first, frontend for the rest
         parsed_by_index: dict[int, ParsedFile] = {}
@@ -268,24 +295,116 @@ class SuggestionService:
             fs = FileSuggestions(name=pf.name,
                                  suggestions=suggestions[lo:hi],
                                  error=pf.error)
-            results[i] = fs
             if store is not None:
                 store.put_suggestions(self._model_key, keys[i],
                                       fs.to_payload())
-        return results
+            yield i, fs
 
-    def suggest_paths(self, paths) -> list[FileSuggestions]:
+    def stream_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        ordered: bool = True, shards: int | None = None,
+    ) -> Iterator[FileSuggestions]:
+        """Stream suggestions for many ``(name, source)`` pairs.
+
+        ``shards > 1`` partitions the corpus by file size and runs the
+        entire pipeline inside that many worker processes, each
+        committing to the shared persistent store and streaming
+        finished files back as they complete; ``shards`` defaults to
+        the service config.  ``ordered=True`` re-interleaves results
+        into input order (buffering out-of-order arrivals);
+        ``ordered=False`` yields in completion order for lowest
+        first-result latency.  Suggestions are byte-identical across
+        shard counts and orderings.
+        """
+        from repro.serve.stream import merge_results, stream_shards
+
+        named = list(named_sources)
+        n_shards = self.config.shards if shards is None else shards
+        if n_shards > 1 and len(named) > 1:
+            results = stream_shards(
+                self._worker_spec(), named, n_shards,
+                on_stats=self._absorb_worker_stats,
+            )
+        else:
+            results = self.iter_sources(named)
+        return merge_results(results, ordered=ordered)
+
+    def stream_paths(self, paths, *, ordered: bool = True,
+                     shards: int | None = None,
+                     ) -> Iterator[FileSuggestions]:
         named = [
             (str(path), Path(path).read_text(encoding="utf-8"))
             for path in paths
         ]
-        return self.suggest_sources(named)
+        return self.stream_sources(named, ordered=ordered, shards=shards)
+
+    def stream_dir(self, directory, pattern: str = "*.c", *,
+                   ordered: bool = True, shards: int | None = None,
+                   ) -> Iterator[FileSuggestions]:
+        """Stream suggestions for every ``pattern`` file under
+        ``directory`` as they complete."""
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.stream_paths(paths, ordered=ordered, shards=shards)
+
+    # -- collecting wrappers -------------------------------------------------
+
+    def suggest_sources(
+        self, named_sources: list[tuple[str, str]],
+    ) -> list[FileSuggestions]:
+        """Suggestions for many ``(name, source)`` pairs at once.
+
+        Collects :meth:`stream_sources` in input order.  All loops of
+        all files needing compute go through one ``suggest_batch`` call
+        per shard, so every model runs a single batched forward for the
+        whole workload.  With a persistent store, files with cached
+        suggestions never reach the parse stage, and files with cached
+        parses never reach the frontend.
+        """
+        return list(self.stream_sources(named_sources, ordered=True))
+
+    def suggest_paths(self, paths) -> list[FileSuggestions]:
+        return list(self.stream_paths(paths, ordered=True))
 
     def suggest_dir(self, directory, pattern: str = "*.c",
                     ) -> list[FileSuggestions]:
         """Suggestions for every ``pattern`` file under ``directory``."""
-        paths = sorted(Path(directory).rglob(pattern))
-        return self.suggest_paths(paths)
+        return list(self.stream_dir(directory, pattern=pattern,
+                                    ordered=True))
+
+    # -- sharding support ----------------------------------------------------
+
+    def _worker_spec(self):
+        """Picklable recipe for rebuilding this service in a worker."""
+        from repro.serve.worker import WorkerSpec
+
+        store_root = None if self.store is None else str(self.store.base)
+        parallel, clause_models = self._source_models
+        return WorkerSpec(
+            # shard workers are daemonic: they can neither re-shard nor
+            # host a nested parse pool, and sharding already owns the
+            # process-level parallelism
+            config=replace(self.config, shards=1, workers=1),
+            store_root=store_root,
+            bundle_path=self._bundle_path,
+            models=(None if self._bundle_path is not None
+                    else (parallel, clause_models)),
+            clauses=tuple(sorted(clause_models)),
+        )
+
+    def _absorb_worker_stats(self, stats: dict) -> None:
+        """Fold one shard worker's ``cache_stats()`` into this service,
+        so forward counts and store hit rates stay meaningful when the
+        pipeline ran in child processes."""
+        forwards = stats.get("forwards") or {}
+        self._forwards["calls"] += int(forwards.get("calls", 0))
+        self._forwards["graphs"] += int(forwards.get("graphs", 0))
+        store_stats = stats.get("store")
+        if self.store is not None and store_stats:
+            for attr in ("parse_hits", "parse_misses",
+                         "suggest_hits", "suggest_misses"):
+                setattr(self.store, attr,
+                        getattr(self.store, attr)
+                        + int(store_stats.get(attr, 0)))
 
     # -- introspection -------------------------------------------------------
 
@@ -326,6 +445,7 @@ def build_service(source, config: ServeConfig | None = None,
     entirely.
     """
     store = SuggestionStore(cache_dir) if cache_dir is not None else None
+    bundle_path = None
     if hasattr(source, "graph_model"):
         parallel = source.graph_model(representation="aug", task="parallel")
         clause_models = {
@@ -334,6 +454,9 @@ def build_service(source, config: ServeConfig | None = None,
         }
     else:
         parallel = source.parallel
+        # A bundle loaded from disk records where: shard workers then
+        # reload the artifact instead of receiving pickled weights.
+        bundle_path = getattr(source, "source_path", None)
         if clauses is None:
             clause_models = dict(source.clause_models)
         else:
@@ -344,4 +467,5 @@ def build_service(source, config: ServeConfig | None = None,
                     f"available: {sorted(source.clause_models)}"
                 )
             clause_models = {c: source.clause_models[c] for c in clauses}
-    return SuggestionService(parallel, clause_models, config, store=store)
+    return SuggestionService(parallel, clause_models, config, store=store,
+                             bundle_path=bundle_path)

@@ -1,0 +1,71 @@
+"""Shard planning for end-to-end corpus sharding.
+
+The parse → encode → forward pipeline is CPU-bound pure python, so a
+corpus splits across worker processes at *file* granularity: each shard
+carries whole files (a file's loops batch together inside its worker)
+balanced by source size, the only cost signal available before any file
+is parsed.  Planning is deterministic — the same corpus and shard count
+always produce the same partition, so reruns hit the same per-shard
+suggestion-store keys and golden tests can pin shard contents.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Shard:
+    """One worker's slice of the corpus.
+
+    ``indices`` are positions into the *original* workload, so results
+    streaming back from any shard can be re-interleaved into input
+    order without the planner's help.
+    """
+
+    sid: int
+    indices: list[int] = field(default_factory=list)
+    items: list[tuple[str, str]] = field(default_factory=list)
+    total_bytes: int = 0
+
+    def add(self, index: int, item: tuple[str, str]) -> None:
+        self.indices.append(index)
+        self.items.append(item)
+        self.total_bytes += len(item[1])
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def plan_shards(named_sources: list[tuple[str, str]],
+                n_shards: int) -> list[Shard]:
+    """Partition ``(name, source)`` pairs into ≤ ``n_shards`` shards.
+
+    Greedy longest-processing-time: files are placed largest-first onto
+    the currently lightest shard, which keeps the heaviest shard within
+    ~4/3 of optimal — good enough that wall clock tracks the slowest
+    worker, not a pathological straggler.  Ties break on shard id and
+    file order, so the plan is a pure function of its inputs.  Empty
+    shards (more shards than files) are dropped.
+    """
+    items = list(named_sources)
+    n_shards = max(1, min(n_shards, len(items)) if items else 1)
+    shards = [Shard(sid=i) for i in range(n_shards)]
+    # (current load, shard id) heap: smallest load pops first, shard id
+    # breaks ties deterministically.
+    heap = [(0, i) for i in range(n_shards)]
+    heapq.heapify(heap)
+    order = sorted(range(len(items)),
+                   key=lambda i: (-len(items[i][1]), i))
+    for i in order:
+        load, sid = heapq.heappop(heap)
+        shards[sid].add(i, items[i])
+        heapq.heappush(heap, (load + len(items[i][1]), sid))
+    for shard in shards:
+        # LPT visits files by size; per-shard processing should follow
+        # input order (stable streaming, store writes, error reporting).
+        paired = sorted(zip(shard.indices, shard.items))
+        shard.indices = [i for i, _ in paired]
+        shard.items = [item for _, item in paired]
+    return [s for s in shards if s.items]

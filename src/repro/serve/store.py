@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 #: bump when cached payload shapes change incompatibly
@@ -41,7 +42,9 @@ class SuggestionStore:
     """Disk-backed parse + suggestion cache rooted at ``root``."""
 
     def __init__(self, root: str | Path) -> None:
-        self.root = Path(root) / f"v{STORE_VERSION}"
+        #: the user-facing root; shard workers re-open the store from it
+        self.base = Path(root)
+        self.root = self.base / f"v{STORE_VERSION}"
         self.parse_hits = 0
         self.parse_misses = 0
         self.suggest_hits = 0
@@ -106,6 +109,73 @@ class SuggestionStore:
     def put_suggestions(self, model_key: str, key: str,
                         payload: dict) -> None:
         self._write(self._suggest_path(model_key, key), payload)
+
+    # -- eviction ------------------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None,
+           max_age_days: float | None = None,
+           now: float | None = None) -> dict:
+        """Prune the on-disk cache; without it the store only grows.
+
+        ``max_age_days`` first drops entries whose mtime is older than
+        the cutoff; ``max_bytes`` then evicts least-recently-written
+        entries (LRU by mtime — every hit replays a file some run
+        recently wrote) until the surviving entries fit the budget.
+        Both layers (parses and per-model suggestions) are pruned
+        together, and *every* versioned subtree under the base root is
+        scanned, so entries written by older ``STORE_VERSION`` builds
+        are reclaimable too.  Entries that vanish mid-scan (a
+        concurrent gc or server) are skipped, not errors.
+
+        Returns ``{"removed_files", "removed_bytes", "kept_files",
+        "kept_bytes"}``.
+        """
+        if now is None:
+            now = time.time()
+        entries: list[tuple[float, int, Path]] = []
+        if self.base.is_dir():
+            for path in self.base.rglob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+
+        keep = sorted(entries, reverse=True)     # newest first
+        evicted: list[tuple[float, int, Path]] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            fresh = [e for e in keep if e[0] >= cutoff]
+            evicted.extend(e for e in keep if e[0] < cutoff)
+            keep = fresh
+        if max_bytes is not None:
+            # strict LRU: the first entry (newest-first) that overflows
+            # the budget marks the recency cutoff — it and everything
+            # older goes, even if some older entry alone would fit
+            total = 0
+            cutoff = len(keep)
+            for i, entry in enumerate(keep):
+                if total + entry[1] > max_bytes:
+                    cutoff = i
+                    break
+                total += entry[1]
+            evicted.extend(keep[cutoff:])
+            keep = keep[:cutoff]
+
+        removed_files = removed_bytes = 0
+        for _, size, path in evicted:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed_files += 1
+            removed_bytes += size
+        return {
+            "removed_files": removed_files,
+            "removed_bytes": removed_bytes,
+            "kept_files": len(keep),
+            "kept_bytes": sum(size for _, size, _ in keep),
+        }
 
     # -- introspection -------------------------------------------------------
 

@@ -1,0 +1,161 @@
+"""Result streaming and merge for sharded serving.
+
+:func:`stream_shards` is the parent side of the sharded pipeline: it
+plans the corpus into size-balanced shards (:mod:`repro.serve.plan`),
+launches one worker process per shard (:mod:`repro.serve.worker`), and
+yields ``(input_index, FileSuggestions)`` pairs as workers stream them
+back over a shared result queue — the first finished file surfaces long
+before the last shard completes.  :func:`merge_results` turns that
+index-tagged stream into the public ordered / as-completed iterators.
+
+Failure is loud and bounded: a worker that dies without reporting its
+shard done (segfault, ``os._exit``, OOM-kill) raises :class:`ServeError`
+in the consumer instead of hanging the stream, and an exception inside
+a worker travels back with its traceback.  Environments that cannot
+spawn processes at all degrade to the in-process pipeline rather than
+failing the request, mirroring the parse stage's fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Iterator
+from queue import Empty
+
+from repro.serve.pipeline import FileSuggestions
+from repro.serve.plan import plan_shards
+
+#: seconds between liveness checks while the result queue is idle
+_POLL_S = 0.25
+#: seconds to wait for a worker to exit after its shard reported done
+_JOIN_S = 10.0
+
+
+class ServeError(RuntimeError):
+    """A shard worker failed or vanished while serving a corpus."""
+
+
+def merge_results(
+    results: Iterator[tuple[int, FileSuggestions]], *,
+    ordered: bool = True,
+) -> Iterator[FileSuggestions]:
+    """Strip the index tags from a completion stream.
+
+    ``ordered=True`` buffers out-of-order arrivals and emits strictly
+    by input index; ``ordered=False`` passes results through in
+    completion order (lowest first-result latency).
+    """
+    if not ordered:
+        for _, fs in results:
+            yield fs
+        return
+    buffered: dict[int, FileSuggestions] = {}
+    next_index = 0
+    for index, fs in results:
+        buffered[index] = fs
+        while next_index in buffered:
+            yield buffered.pop(next_index)
+            next_index += 1
+    # A gap would mean an upstream bug; still flush what arrived.
+    for index in sorted(buffered):
+        yield buffered[index]
+
+
+def stream_shards(
+    spec, named_sources: list[tuple[str, str]], n_shards: int,
+    on_stats=None,
+) -> Iterator[tuple[int, FileSuggestions]]:
+    """Run ``named_sources`` through ``n_shards`` worker processes.
+
+    ``spec`` is a :class:`~repro.serve.worker.WorkerSpec`; each worker
+    rebuilds the full service from it, runs parse → encode → forward →
+    fan-out locally for its shard, commits to the shared persistent
+    store, and streams per-file results back as they complete.
+    ``on_stats`` receives each worker's ``cache_stats()`` dict when its
+    shard finishes, so the parent can fold shard work into its own
+    counters.
+    """
+    from repro.serve.worker import worker_main
+
+    shards = plan_shards(list(named_sources), n_shards)
+    if not shards:
+        return
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    procs: dict[int, multiprocessing.Process] = {}
+    try:
+        for shard in shards:
+            proc = ctx.Process(target=worker_main,
+                               args=(spec, shard, queue), daemon=True)
+            proc.start()
+            procs[shard.sid] = proc
+    except (OSError, PermissionError):
+        # No process support here (sandboxes, exhausted pids): serve
+        # in-process instead of failing the request.
+        for proc in procs.values():
+            proc.terminate()
+        service = spec.build_service()
+        named = list(named_sources)
+        yield from service.iter_sources(named)
+        if on_stats is not None:
+            on_stats(service.cache_stats())
+        return
+
+    done: set[int] = set()
+    try:
+        while len(done) < len(shards):
+            try:
+                kind, sid, *rest = queue.get(timeout=_POLL_S)
+            except Empty:
+                dead = [sid for sid, proc in procs.items()
+                        if sid not in done and proc.exitcode is not None]
+                if dead:
+                    # Drain messages that raced the exit before judging.
+                    leftovers = _drain(queue)
+                    for kind, sid, *rest in leftovers:
+                        yield from _handle(kind, sid, rest, done, on_stats)
+                    still_dead = [sid for sid in dead if sid not in done]
+                    if still_dead:
+                        codes = {sid: procs[sid].exitcode
+                                 for sid in still_dead}
+                        raise ServeError(
+                            f"shard worker(s) {sorted(codes)} exited "
+                            f"(exit codes {codes}) before completing "
+                            f"their shard; partial results were "
+                            f"discarded"
+                        )
+                continue
+            yield from _handle(kind, sid, rest, done, on_stats)
+        for proc in procs.values():
+            proc.join(timeout=_JOIN_S)
+    finally:
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_S)
+        queue.close()
+
+
+def _handle(kind: str, sid: int, rest: list, done: set[int],
+            on_stats) -> Iterator[tuple[int, FileSuggestions]]:
+    """Dispatch one worker message, yielding any finished file."""
+    if kind == "file":
+        index, name, payload = rest
+        yield index, FileSuggestions.from_payload(name, payload)
+    elif kind == "done":
+        done.add(sid)
+        if on_stats is not None:
+            on_stats(rest[0])
+    elif kind == "error":
+        raise ServeError(f"shard worker {sid} failed:\n{rest[0]}")
+    else:  # pragma: no cover - protocol safety net
+        raise ServeError(f"unknown worker message kind {kind!r}")
+
+
+def _drain(queue) -> list:
+    messages = []
+    while True:
+        try:
+            messages.append(queue.get_nowait())
+        except Empty:
+            return messages

@@ -1,0 +1,86 @@
+"""Shard worker: one process, one slice of the corpus, full pipeline.
+
+A worker rebuilds the complete suggestion service from a picklable
+:class:`WorkerSpec` — either by reloading the on-disk
+:class:`~repro.artifacts.SuggesterBundle` the parent served from (the
+cheap path: the spawn payload is one path string, the artifact loads
+strictly and identically everywhere) or from directly pickled trained
+models when no artifact exists (train-on-the-fly services, test stubs).
+It then runs parse → encode → block-diagonal forward → fan-out
+*locally* for its shard, consults and commits the shared persistent
+:class:`~repro.serve.store.SuggestionStore` exactly like the in-process
+path, and streams per-file results back over the result queue as they
+complete.
+
+The wire protocol (``("file", sid, index, name, payload)`` /
+``("done", sid, stats)`` / ``("error", sid, traceback)``) carries only
+JSON-shaped payloads — the same shapes the persistent store writes —
+never live model or AST objects.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from dataclasses import dataclass, field
+
+from repro.serve.pipeline import ServeConfig, SuggestionService
+from repro.serve.store import SuggestionStore
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild the serving service.
+
+    Exactly one of ``bundle_path`` / ``models`` is populated:
+    ``bundle_path`` ships a path to a saved bundle (directory or
+    archive) that the worker loads itself; ``models`` ships the
+    ``(parallel_model, clause_models)`` pair by pickle.  ``clauses``
+    restricts which clause families a bundle-backed worker serves, so
+    workers agree with the parent's model key.
+    """
+
+    config: ServeConfig
+    store_root: str | None = None
+    bundle_path: str | None = None
+    models: tuple | None = None
+    clauses: tuple[str, ...] = field(default_factory=tuple)
+
+    def build_service(self) -> SuggestionService:
+        if self.bundle_path is not None:
+            from repro.artifacts import SuggesterBundle
+
+            bundle = SuggesterBundle.load(self.bundle_path)
+            parallel = bundle.parallel
+            clause_models = {
+                name: bundle.clause_models[name] for name in self.clauses
+            }
+        elif self.models is not None:
+            parallel, clause_models = self.models
+        else:
+            raise ValueError(
+                "WorkerSpec names neither a bundle path nor models"
+            )
+        store = (SuggestionStore(self.store_root)
+                 if self.store_root is not None else None)
+        return SuggestionService(parallel, dict(clause_models),
+                                 self.config, store=store)
+
+
+def worker_main(spec: WorkerSpec, shard, queue) -> None:
+    """Process entrypoint: serve one shard, streaming results back.
+
+    Any failure — spec resolution, artifact loading, the pipeline
+    itself — is reported as an ``("error", ...)`` message carrying the
+    traceback, and the process exits nonzero so the parent detects the
+    death even if the message is lost.
+    """
+    try:
+        service = spec.build_service()
+        for local_index, fs in service.iter_sources(shard.items):
+            queue.put(("file", shard.sid, shard.indices[local_index],
+                       fs.name, fs.to_payload()))
+        queue.put(("done", shard.sid, service.cache_stats()))
+    except BaseException:
+        queue.put(("error", shard.sid, traceback.format_exc()))
+        sys.exit(1)

@@ -69,13 +69,23 @@ class LoopRequest:
     function (when known): privatized scalars in that set must be
     ``lastprivate`` for correctness.  ``ast`` optionally carries the
     already-parsed loop statement so batch consumers skip a re-parse;
-    it is advisory (never part of equality) and should be dropped when
-    requests cross a process boundary.
+    it is advisory (never part of equality) and is dropped when a
+    request is pickled — shard workers and parse pools exchange plain
+    sources and re-parse lazily, which keeps the wire payload small and
+    the suggestions identical either way.
     """
 
     source: str
     live_out: frozenset[str] = frozenset()
     ast: Stmt | None = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self) -> dict:
+        return {"source": self.source, "live_out": self.live_out}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "source", state["source"])
+        object.__setattr__(self, "live_out", state["live_out"])
+        object.__setattr__(self, "ast", None)
 
 
 class PragmaSuggester:

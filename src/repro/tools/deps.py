@@ -9,10 +9,18 @@ affine dependence tests into a single verdict object describing:
 - structural facts (calls, inner loops, inexact accesses).
 
 All decisions are conservative: "maybe" means "dependence".
+
+:func:`analyze_loop` memoizes by *structural* loop hash (the unparsed
+source, so two parses of the same loop — ubiquitous in warm serving
+workloads and deduplicated corpora — share one analysis).  The cached
+:class:`LoopDeps` is returned as-is and must be treated as immutable;
+:func:`cache_stats` exposes hit/miss counters.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from itertools import combinations
 
@@ -208,13 +216,65 @@ def _reads_var(expr: Expr, name: str) -> bool:
     )
 
 
+#: LRU memo of (structural hash, conditional_reductions) → LoopDeps
+_DEPS_CACHE: OrderedDict[tuple[str, bool], LoopDeps] = OrderedDict()
+_DEPS_CACHE_MAX = 4096
+_deps_cache_counts = {"hits": 0, "misses": 0}
+
+
+def loop_structural_hash(loop: Stmt) -> str:
+    """Identity of a loop up to formatting: SHA-1 of its unparse.
+
+    Two independently parsed copies of the same loop hash equal (the
+    unparser canonicalises whitespace and redundant parentheses), so
+    the memo fires across files, shards and repeated requests.
+    """
+    from repro.cfront.unparse import unparse
+
+    return hashlib.sha1(unparse(loop).encode("utf-8")).hexdigest()
+
+
+def cache_stats() -> dict:
+    """Hit/miss/entry counters of the :func:`analyze_loop` memo."""
+    return {**_deps_cache_counts, "entries": len(_DEPS_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop the :func:`analyze_loop` memo and reset its counters."""
+    _DEPS_CACHE.clear()
+    _deps_cache_counts["hits"] = 0
+    _deps_cache_counts["misses"] = 0
+
+
 def analyze_loop(loop: Stmt, conditional_reductions: bool = False) -> LoopDeps:
     """Run the full static dependence analysis on one loop statement.
 
     ``conditional_reductions`` widens reduction recognition to updates
     under ``if`` — legal OpenMP, but outside real tools' pattern tables;
     only the labelling oracle turns it on.
+
+    Results are memoized by :func:`loop_structural_hash`: the analysis
+    is a pure function of loop structure, so repeated loops (warm
+    serving workloads, duplicated corpora, the suggester's per-loop
+    compose step) pay for it once.  Callers must treat the returned
+    :class:`LoopDeps` as read-only.
     """
+    key = (loop_structural_hash(loop), conditional_reductions)
+    cached = _DEPS_CACHE.get(key)
+    if cached is not None:
+        _DEPS_CACHE.move_to_end(key)
+        _deps_cache_counts["hits"] += 1
+        return cached
+    _deps_cache_counts["misses"] += 1
+    deps = _analyze_loop_uncached(loop, conditional_reductions)
+    _DEPS_CACHE[key] = deps
+    while len(_DEPS_CACHE) > _DEPS_CACHE_MAX:
+        _DEPS_CACHE.popitem(last=False)
+    return deps
+
+
+def _analyze_loop_uncached(loop: Stmt,
+                           conditional_reductions: bool) -> LoopDeps:
     canonical = recognize_canonical(loop)
     body = getattr(loop, "body", loop)
     summary = collect_accesses(body)

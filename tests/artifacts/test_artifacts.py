@@ -18,7 +18,9 @@ from repro.artifacts import (
     SuggesterBundle,
     family_of,
     load_trained,
+    pack_bundle,
     save_trained,
+    unpack_bundle,
 )
 from repro.cfront import parse_loop
 from repro.eval.context import TrainedGraphModel, TrainedTokenModel
@@ -308,3 +310,97 @@ class TestSuggesterBundle:
         assert sorted(service.suggester.clause_models) == ["reduction"]
         with pytest.raises(ValueError, match="no clause model"):
             build_service(bundle, clauses=("simd",))
+
+
+class TestBundleArchive:
+    """One archive file ⇄ one bundle directory, predictions identical."""
+
+    def _bundle(self, seed: int = 0) -> SuggesterBundle:
+        return TestSuggesterBundle._bundle(self, seed)
+
+    def test_export_archive_round_trip(self, tmp_path):
+        _, encoded = _graph_fixture()
+        bundle = self._bundle(seed=17)
+        archive = bundle.export_archive(tmp_path / "advisor.tar.gz")
+        assert archive.is_file()
+        loaded = SuggesterBundle.load(archive)
+        assert loaded.source_path == str(archive)
+        assert sorted(loaded.clause_models) == sorted(bundle.clause_models)
+        assert np.array_equal(
+            bundle.parallel.trainer.predict(encoded),
+            loaded.parallel.trainer.predict(encoded),
+        )
+        assert bundle.parallel.fingerprint() == \
+            loaded.parallel.fingerprint()
+
+    def test_pack_unpack_round_trip(self, tmp_path):
+        import tarfile
+
+        bundle = self._bundle(seed=23)
+        bundle.save(tmp_path / "dir")
+        archive = pack_bundle(tmp_path / "dir", tmp_path / "b.tar.gz")
+        with tarfile.open(archive) as tar:
+            names = tar.getnames()
+        assert len(names) == len(set(names)), "duplicate tar members"
+        unpack_bundle(archive, tmp_path / "again")
+        # every file of the layout survives byte-for-byte
+        originals = sorted(p.relative_to(tmp_path / "dir")
+                           for p in (tmp_path / "dir").rglob("*")
+                           if p.is_file())
+        restored = sorted(p.relative_to(tmp_path / "again")
+                          for p in (tmp_path / "again").rglob("*")
+                          if p.is_file())
+        assert restored == originals
+        for rel in originals:
+            assert (tmp_path / "again" / rel).read_bytes() == \
+                (tmp_path / "dir" / rel).read_bytes()
+        # and the unpacked directory loads like the original
+        loaded = SuggesterBundle.load(tmp_path / "again")
+        assert loaded.vocab.content_hash() == bundle.vocab.content_hash()
+
+    def test_load_records_directory_source_path(self, tmp_path):
+        bundle = self._bundle()
+        bundle.save(tmp_path / "b")
+        loaded = SuggesterBundle.load(tmp_path / "b")
+        assert loaded.source_path == str(tmp_path / "b")
+
+    def test_pack_refuses_non_bundle_directory(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(BundleError, match="manifest"):
+            pack_bundle(tmp_path / "junk", tmp_path / "junk.tar.gz")
+
+    def test_unpack_refuses_unsafe_members(self, tmp_path):
+        import tarfile
+
+        evil = tmp_path / "evil.tar.gz"
+        payload = tmp_path / "payload"
+        payload.write_text("{}")
+        with tarfile.open(evil, "w:gz") as tar:
+            tar.add(payload, arcname="../escape.json")
+        with pytest.raises(BundleError, match="unsafe"):
+            unpack_bundle(evil, tmp_path / "out")
+
+    def test_unpack_refuses_non_archives(self, tmp_path):
+        not_tar = tmp_path / "nope.tar.gz"
+        not_tar.write_text("just text")
+        with pytest.raises(BundleError, match="cannot read"):
+            unpack_bundle(not_tar, tmp_path / "out")
+
+    def test_load_archive_verifies_like_directory(self, tmp_path):
+        """Tampering inside the archive fails exactly like a tampered
+        directory — the hash checks run on the extracted tree."""
+        import tarfile
+
+        bundle = self._bundle()
+        bundle.save(tmp_path / "dir")
+        other = build_graph_vocab([build_aug_ast(parse_loop(LOOPS[1]))])
+        (tmp_path / "dir" / "vocab.json").write_text(
+            json.dumps(other.to_dict())
+        )
+        archive = tmp_path / "tampered.tar.gz"
+        with tarfile.open(archive, "w:gz") as tar:
+            for member in sorted((tmp_path / "dir").rglob("*")):
+                tar.add(member,
+                        arcname=str(member.relative_to(tmp_path / "dir")))
+        with pytest.raises(BundleError, match="vocab"):
+            SuggesterBundle.load(archive)

@@ -1,0 +1,69 @@
+"""Tests for the shard planner (repro.serve.plan)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import plan_shards
+
+
+def _named(sizes):
+    return [(f"f{i}.c", "x" * size) for i, size in enumerate(sizes)]
+
+
+class TestPlanShards:
+    def test_covers_every_file_exactly_once(self):
+        named = _named([10, 200, 30, 40, 5, 170, 60])
+        shards = plan_shards(named, 3)
+        indices = sorted(i for s in shards for i in s.indices)
+        assert indices == list(range(len(named)))
+        for shard in shards:
+            assert shard.items == [named[i] for i in shard.indices]
+
+    def test_deterministic(self):
+        named = _named([7, 7, 7, 100, 3, 50, 50, 2])
+        first = plan_shards(named, 3)
+        second = plan_shards(named, 3)
+        assert [s.indices for s in first] == [s.indices for s in second]
+        assert [s.sid for s in first] == [s.sid for s in second]
+
+    def test_balanced_by_size(self):
+        # LPT bound: the heaviest shard carries at most the ideal share
+        # plus one file — no pathological straggler.
+        sizes = [90, 10, 10, 10, 10, 10, 50, 40, 40, 60]
+        shards = plan_shards(_named(sizes), 3)
+        loads = [s.total_bytes for s in shards]
+        assert max(loads) <= sum(sizes) / 3 + max(sizes)
+
+    def test_more_shards_than_files_drops_empties(self):
+        shards = plan_shards(_named([5, 5]), 8)
+        assert len(shards) == 2
+        assert all(len(s) == 1 for s in shards)
+
+    def test_single_shard_keeps_input_order(self):
+        named = _named([3, 100, 1, 50])
+        (shard,) = plan_shards(named, 1)
+        assert shard.indices == [0, 1, 2, 3]
+        assert shard.items == named
+
+    def test_empty_corpus(self):
+        assert plan_shards([], 4) == []
+
+    def test_within_shard_order_is_input_order(self):
+        named = _named([10, 90, 20, 80, 30, 70])
+        for shard in plan_shards(named, 2):
+            assert shard.indices == sorted(shard.indices)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=500),
+                       max_size=40),
+        n_shards=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, sizes, n_shards):
+        named = _named(sizes)
+        shards = plan_shards(named, n_shards)
+        assert sorted(i for s in shards for i in s.indices) == \
+            list(range(len(named)))
+        assert len(shards) <= max(1, min(n_shards, len(named)))
+        assert all(s.items for s in shards)
+        assert all(s.total_bytes == sum(len(src) for _, src in s.items)
+                   for s in shards)

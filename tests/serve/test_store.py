@@ -241,3 +241,104 @@ class TestStoreMechanics:
         path.parent.mkdir(parents=True)
         path.write_text("[1, 2, 3]")
         assert store.get_parse("k") is None
+
+
+class TestStoreGC:
+    """Eviction: without ``gc`` the cache only grows."""
+
+    def _filled(self, root, n: int = 6) -> SuggestionStore:
+        store = SuggestionStore(root)
+        for i in range(n):
+            store.put_parse(f"p{i}", {"requests": [], "error": None,
+                                      "pad": "x" * 50})
+            store.put_suggestions("model", f"s{i}",
+                                  {"suggestions": [], "error": None,
+                                   "pad": "y" * 50})
+        return store
+
+    @staticmethod
+    def _entries(store) -> int:
+        return len(list(store.base.rglob("*.json")))
+
+    def test_no_limits_is_a_no_op(self, tmp_path):
+        store = self._filled(tmp_path)
+        before = self._entries(store)
+        result = store.gc()
+        assert result["removed_files"] == 0
+        assert result["kept_files"] == before == self._entries(store)
+        assert result["kept_bytes"] > 0
+
+    def test_max_age_drops_old_entries(self, tmp_path):
+        import os
+        import time
+
+        store = self._filled(tmp_path, n=4)
+        now = time.time()
+        old = now - 10 * 86400
+        aged = sorted(store.base.rglob("*.json"))[:3]
+        for path in aged:
+            os.utime(path, (old, old))
+        result = store.gc(max_age_days=7, now=now)
+        assert result["removed_files"] == 3
+        survivors = set(store.base.rglob("*.json"))
+        assert survivors.isdisjoint(aged)
+        assert result["kept_files"] == len(survivors)
+
+    def test_max_bytes_evicts_lru_by_mtime(self, tmp_path):
+        import os
+        import time
+
+        store = self._filled(tmp_path, n=5)
+        now = time.time()
+        paths = sorted(store.base.rglob("*.json"))
+        # give every entry a distinct age; paths[0] is the most recent
+        for age, path in enumerate(paths):
+            os.utime(path, (now - age, now - age))
+        budget = sum(p.stat().st_size for p in paths[:3])
+        result = store.gc(max_bytes=budget, now=now)
+        survivors = set(store.base.rglob("*.json"))
+        assert survivors == set(paths[:3])       # newest three fit
+        assert result["kept_files"] == 3
+        assert result["removed_files"] == len(paths) - 3
+        assert result["kept_bytes"] <= budget
+
+    def test_max_bytes_is_a_recency_cutoff_not_first_fit(self, tmp_path):
+        import os
+        import time
+
+        store = SuggestionStore(tmp_path)
+        store.put_parse("big", {"requests": [], "error": None,
+                                "pad": "x" * 400})
+        store.put_parse("small", {"requests": [], "error": None})
+        now = time.time()
+        big = store._parse_path("big")
+        small = store._parse_path("small")
+        os.utime(big, (now, now))              # newest, too big alone
+        os.utime(small, (now - 60, now - 60))  # older, would fit alone
+        result = store.gc(max_bytes=big.stat().st_size - 1, now=now)
+        # strict LRU: the overflowing newest entry marks the cutoff and
+        # the older small entry must NOT survive it
+        assert result["kept_files"] == 0
+        assert result["removed_files"] == 2
+        assert not list(store.base.rglob("*.json"))
+
+    def test_gc_to_zero_then_recompute(self, tmp_path, corpus):
+        cache = tmp_path / "cache"
+        cold = _service(SuggestionStore(cache))
+        cold_results = cold.suggest_dir(corpus)
+        result = SuggestionStore(cache).gc(max_bytes=0)
+        assert result["kept_files"] == 0
+        # an emptied cache degrades to a cold run, never an error
+        warm = _service(SuggestionStore(cache))
+        warm_results = warm.suggest_dir(corpus)
+        assert warm.cache_stats()["store"]["suggest_hits"] == 0
+        assert [[s.render() for s in r.suggestions]
+                for r in warm_results] == \
+            [[s.render() for s in r.suggestions] for r in cold_results]
+
+    def test_missing_root_is_empty(self, tmp_path):
+        result = SuggestionStore(tmp_path / "never-written").gc(
+            max_bytes=10,
+        )
+        assert result == {"removed_files": 0, "removed_bytes": 0,
+                          "kept_files": 0, "kept_bytes": 0}

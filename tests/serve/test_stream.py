@@ -1,0 +1,208 @@
+"""Tests for end-to-end sharded, streaming serving.
+
+The contract of the new serving spine: any shard count and either
+ordering produce byte-identical suggestions to the single-process
+batch path; results stream as files complete; shard workers share the
+persistent store; and a worker death surfaces as a clean
+:class:`ServeError` instead of a hang.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FileSuggestions,
+    ServeConfig,
+    ServeError,
+    SuggestionService,
+    SuggestionStore,
+    WorkerSpec,
+    merge_results,
+)
+
+GOOD_SOURCE = """
+double a[100], b[100]; double s;
+void kernel(void) {
+    int i;
+    for (i = 0; i < 100; i++) a[i] = b[i];
+    for (i = 0; i < 100; i++) s += a[i];
+}
+"""
+
+OTHER_SOURCE = """
+double c[50];
+void scale(void) {
+    int j;
+    for (j = 0; j < 50; j++) c[j] = c[j] * 2.0;
+}
+"""
+
+BAD_SOURCE = "void broken(void) { for (i = 0; i < ; }"
+
+
+class _StubModel:
+    """Picklable predict_samples stub (workers rebuild the service
+    from it, so it must cross the process boundary)."""
+
+    def __init__(self, value: int, name: str = "stub") -> None:
+        self.value = value
+        self.name = name
+
+    def predict_samples(self, samples):
+        return np.full(len(samples), self.value, dtype=int)
+
+    def fingerprint(self) -> str:
+        return f"stub:{self.name}:{self.value}"
+
+
+class _CrashingModel(_StubModel):
+    """Kills its process mid-forward: the hard-death case (segfault,
+    OOM-kill) that must not hang the stream."""
+
+    def predict_samples(self, samples):
+        os._exit(3)
+
+
+class _RaisingModel(_StubModel):
+    """Raises mid-forward: the soft-failure case whose traceback must
+    travel back to the consumer."""
+
+    def predict_samples(self, samples):
+        raise RuntimeError("clause model exploded")
+
+
+def _service(parallel=None, store=None, **config):
+    parallel = parallel or _StubModel(1, "par")
+    clauses = {"reduction": _StubModel(1, "red"),
+               "private": _StubModel(0, "priv")}
+    return SuggestionService(parallel, clauses, ServeConfig(**config),
+                             store=store)
+
+
+def _corpus(n: int = 6):
+    sources = [GOOD_SOURCE, OTHER_SOURCE, BAD_SOURCE]
+    return [(f"f{i}.c", sources[i % len(sources)].replace("100", str(100 + i)))
+            for i in range(n)]
+
+
+def _renders(results):
+    return [(r.name, r.error, [s.render() for s in r.suggestions])
+            for r in results]
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sharded_ordered_matches_batch(self, shards):
+        named = _corpus(7)
+        batch = _service().suggest_sources(named)
+        streamed = list(_service().stream_sources(named, ordered=True,
+                                                  shards=shards))
+        assert _renders(streamed) == _renders(batch)
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_as_completed_is_a_permutation_of_ordered(self, shards):
+        named = _corpus(6)
+        ordered = list(_service().stream_sources(named, ordered=True,
+                                                 shards=shards))
+        completed = list(_service().stream_sources(named, ordered=False,
+                                                   shards=shards))
+        assert sorted(_renders(completed)) == sorted(_renders(ordered))
+        assert [r.name for r in ordered] == [name for name, _ in named]
+
+    def test_suggest_dir_is_collected_stream(self, tmp_path):
+        for name, source in _corpus(4):
+            (tmp_path / name).write_text(source)
+        service = _service(shards=2)
+        collected = service.suggest_dir(tmp_path)
+        streamed = list(_service(shards=2).stream_dir(tmp_path))
+        assert _renders(streamed) == _renders(collected)
+
+    def test_config_shards_used_by_default(self):
+        named = _corpus(4)
+        batch = _service().suggest_sources(named)
+        via_config = _service(shards=2).suggest_sources(named)
+        assert _renders(via_config) == _renders(batch)
+
+    def test_shards_compose_with_parse_workers(self):
+        # daemonic shard workers cannot host a nested parse pool; the
+        # spec must strip config.workers instead of crashing the shard
+        named = _corpus(6)
+        batch = _service().suggest_sources(named)
+        combined = list(_service(workers=2).stream_sources(
+            named, ordered=True, shards=2,
+        ))
+        assert _renders(combined) == _renders(batch)
+
+
+class TestSharedStore:
+    def test_shard_workers_commit_to_shared_store(self, tmp_path):
+        named = _corpus(6)
+        cold = _service(store=SuggestionStore(tmp_path / "cache"))
+        cold_results = list(cold.stream_sources(named, shards=3))
+        stats = cold.cache_stats()
+        # parent absorbed the workers' counters
+        assert stats["store"]["suggest_misses"] == len(named)
+        assert stats["forwards"]["graphs"] > 0
+
+        warm = _service(store=SuggestionStore(tmp_path / "cache"))
+        warm_results = list(warm.stream_sources(named, shards=3))
+        warm_stats = warm.cache_stats()
+        assert warm_stats["forwards"] == {"calls": 0, "graphs": 0}
+        assert warm_stats["store"]["suggest_hits"] == len(named)
+        assert _renders(warm_results) == _renders(cold_results)
+
+    def test_single_shard_warm_after_sharded_cold(self, tmp_path):
+        named = _corpus(5)
+        cold = _service(store=SuggestionStore(tmp_path / "cache"))
+        cold_results = list(cold.stream_sources(named, shards=2))
+        warm = _service(store=SuggestionStore(tmp_path / "cache"))
+        warm_results = warm.suggest_sources(named)
+        assert warm.cache_stats()["forwards"] == {"calls": 0, "graphs": 0}
+        assert _renders(warm_results) == _renders(cold_results)
+
+
+class TestWorkerFailure:
+    def test_crashed_worker_raises_clean_serve_error(self):
+        named = _corpus(6)
+        service = _service(parallel=_CrashingModel(1, "crash"))
+        start = time.monotonic()
+        with pytest.raises(ServeError, match="exited"):
+            list(service.stream_sources(named, shards=2))
+        # bounded: liveness polling, not a queue.get() that never returns
+        assert time.monotonic() - start < 30
+
+    def test_worker_exception_travels_back(self):
+        named = _corpus(4)
+        service = _service(parallel=_RaisingModel(1, "boom"))
+        with pytest.raises(ServeError, match="clause model exploded"):
+            list(service.stream_sources(named, shards=2))
+
+    def test_spec_without_source_is_an_error(self):
+        with pytest.raises(ValueError, match="neither"):
+            WorkerSpec(config=ServeConfig()).build_service()
+
+
+class TestMergeResults:
+    def _tagged(self, order):
+        return [(i, FileSuggestions(name=f"f{i}.c")) for i in order]
+
+    def test_ordered_buffers_out_of_order_arrivals(self):
+        merged = list(merge_results(iter(self._tagged([2, 0, 3, 1])),
+                                    ordered=True))
+        assert [fs.name for fs in merged] == \
+            ["f0.c", "f1.c", "f2.c", "f3.c"]
+
+    def test_as_completed_passes_through(self):
+        merged = list(merge_results(iter(self._tagged([2, 0, 1])),
+                                    ordered=False))
+        assert [fs.name for fs in merged] == ["f2.c", "f0.c", "f1.c"]
+
+    def test_ordered_flushes_trailing_gap(self):
+        # index 0 never arrives (upstream bug): remaining results still
+        # come out, in index order
+        merged = list(merge_results(iter(self._tagged([2, 1])),
+                                    ordered=True))
+        assert [fs.name for fs in merged] == ["f1.c", "f2.c"]

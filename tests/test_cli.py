@@ -99,6 +99,72 @@ class TestBundleCLI:
         assert "cannot load bundle" in capsys.readouterr().err
 
 
+class TestBundleArchiveCLI:
+    """`repro bundle pack/unpack` + serving straight from an archive."""
+
+    FLAGS = ["--scale", "0.005", "--epochs", "1", "--dim", "16"]
+
+    def test_pack_unpack_and_serve_archive(self, tmp_path, capsys):
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "kernel.c").write_text(TestSuggestDirCLI.SOURCE)
+        bundle = tmp_path / "bundle"
+        assert main(["train", *self.FLAGS,
+                     "--bundle-out", str(bundle)]) == 0
+        archive = tmp_path / "advisor.tar.gz"
+        assert main(["bundle", "pack", str(bundle), str(archive)]) == 0
+        assert archive.is_file()
+        unpacked = tmp_path / "unpacked"
+        assert main(["bundle", "unpack", str(archive),
+                     str(unpacked)]) == 0
+        assert (unpacked / "manifest.json").read_bytes() == \
+            (bundle / "manifest.json").read_bytes()
+        capsys.readouterr()
+
+        golden = tmp_path / "golden.json"
+        assert main(["suggest-dir", str(src_dir), "--bundle", str(bundle),
+                     "--quiet", "--out", str(golden)]) == 0
+        served = tmp_path / "served.json"
+        assert main(["suggest-dir", str(src_dir), "--bundle", str(archive),
+                     "--quiet", "--out", str(served)]) == 0
+        assert served.read_bytes() == golden.read_bytes()
+
+    def test_train_writes_archive_directly(self, tmp_path, capsys):
+        archive = tmp_path / "advisor.tgz"
+        assert main(["train", *self.FLAGS,
+                     "--bundle-out", str(archive)]) == 0
+        assert archive.is_file()
+        from repro.artifacts import SuggesterBundle
+
+        loaded = SuggesterBundle.load(archive)
+        assert loaded.source_path == str(archive)
+
+    def test_pack_rejects_non_bundle(self, tmp_path, capsys):
+        (tmp_path / "junk").mkdir()
+        code = main(["bundle", "pack", str(tmp_path / "junk"),
+                     str(tmp_path / "junk.tar.gz")])
+        assert code == 2
+        assert "failed" in capsys.readouterr().err
+
+
+class TestCacheGcCLI:
+    def test_gc_prunes_and_reports(self, tmp_path, capsys):
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        for i in range(4):
+            store.put_parse(f"k{i}", {"requests": [], "error": None})
+        code = main(["cache", "gc", str(tmp_path / "cache"),
+                     "--max-bytes", "0"])
+        assert code == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_gc_requires_a_limit(self, tmp_path, capsys):
+        assert main(["cache", "gc", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+
 class TestSuggestDirCLI:
     SOURCE = """
     double a[64], b[64]; double s;
@@ -106,6 +172,14 @@ class TestSuggestDirCLI:
         int i;
         for (i = 0; i < 64; i++) a[i] = b[i] * 2.0;
         for (i = 0; i < 64; i++) s += a[i];
+    }
+    """
+
+    OTHER = """
+    double c[32];
+    void scale(void) {
+        int j;
+        for (j = 0; j < 32; j++) c[j] = c[j] + 1.0;
     }
     """
 
@@ -132,6 +206,48 @@ class TestSuggestDirCLI:
                      "--epochs", "1", "--dim", "16"])
         assert code == 1
         assert "no files" in capsys.readouterr().out
+
+    def test_sharded_output_is_byte_identical(self, tmp_path, capsys):
+        """Acceptance: --shards N matches the single-process path
+        byte for byte."""
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "k1.c").write_text(self.SOURCE)
+        (src_dir / "k2.c").write_text(self.OTHER)
+        flags = ["--scale", "0.005", "--epochs", "1", "--dim", "16",
+                 "--quiet"]
+        single = tmp_path / "single.json"
+        assert main(["suggest-dir", str(src_dir), *flags,
+                     "--shards", "1", "--out", str(single)]) == 0
+        sharded = tmp_path / "sharded.json"
+        assert main(["suggest-dir", str(src_dir), *flags,
+                     "--shards", "4", "--out", str(sharded)]) == 0
+        assert sharded.read_bytes() == single.read_bytes()
+
+    def test_stream_emits_ndjson_per_file(self, tmp_path, capsys):
+        import json
+
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "k1.c").write_text(self.SOURCE)
+        (src_dir / "k2.c").write_text(self.OTHER)
+        (src_dir / "broken.c").write_text(
+            "void broken(void) { for (i = 0; i < ; }"
+        )
+        code = main(["suggest-dir", str(src_dir), "--scale", "0.005",
+                     "--epochs", "1", "--dim", "16", "--stream",
+                     "--shards", "2"])
+        assert code == 0
+        out, err = capsys.readouterr()
+        records = [json.loads(line) for line in out.splitlines()]
+        # stdout is pure NDJSON: one record per file, nothing else
+        assert sorted(r["file"].rsplit("/", 1)[-1] for r in records) == \
+            ["broken.c", "k1.c", "k2.c"]
+        by_name = {r["file"].rsplit("/", 1)[-1]: r for r in records}
+        assert len(by_name["k1.c"]["suggestions"]) == 2
+        assert by_name["broken.c"]["error"] is not None
+        # the human-readable summary lands on stderr
+        assert "3 loops across 3 files" in err
 
 
 class TestUmbrellaCLI:

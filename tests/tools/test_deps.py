@@ -4,11 +4,72 @@ import pytest
 
 from repro.cfront import parse_loop
 from repro.tools.access import collect_accesses
-from repro.tools.deps import analyze_loop
+from repro.tools import deps as deps_module
+from repro.tools.deps import analyze_loop, cache_stats, clear_cache
 
 
 def deps(src):
     return analyze_loop(parse_loop(src))
+
+
+class TestAnalyzeLoopMemo:
+    """analyze_loop memoizes by structural loop hash."""
+
+    def test_identical_structure_shares_one_analysis(self):
+        clear_cache()
+        first = analyze_loop(parse_loop("for (i = 0; i < n; i++) s += a[i];"))
+        # a fresh parse of the same loop, modulo formatting
+        second = analyze_loop(
+            parse_loop("for (i = 0; i < n; i++)   s  +=  a[i] ;")
+        )
+        assert second is first
+        assert cache_stats()["hits"] == 1
+        assert cache_stats()["misses"] == 1
+
+    def test_flag_is_part_of_the_key(self):
+        clear_cache()
+        loop = parse_loop("for (i = 0; i < n; i++) { if (c) s += a[i]; }")
+        plain = analyze_loop(loop)
+        widened = analyze_loop(loop, conditional_reductions=True)
+        assert plain is not widened
+        assert not plain.reductions
+        assert [r.var for r in widened.reductions] == ["s"]
+
+    def test_distinct_loops_miss(self):
+        clear_cache()
+        analyze_loop(parse_loop("for (i = 0; i < n; i++) a[i] = b[i];"))
+        analyze_loop(parse_loop("for (i = 0; i < n; i++) a[i] = c[i];"))
+        assert cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_memoized_equals_fresh(self):
+        sources = [
+            "for (i = 0; i < n; i++) s += a[i];",
+            "for (i = 0; i < n; i++) a[i] = a[i - 1];",
+            "for (i = 0; i < n; i++) { t = a[i]; b[i] = t * t; }",
+        ]
+        for src in sources:
+            clear_cache()
+            fresh = deps_module._analyze_loop_uncached(parse_loop(src), False)
+            memo = analyze_loop(parse_loop(src))
+            assert memo.is_doall() == fresh.is_doall()
+            assert [r.var for r in memo.reductions] == \
+                [r.var for r in fresh.reductions]
+            assert memo.privatizable == fresh.privatizable
+            assert len(memo.array_deps) == len(fresh.array_deps)
+
+    def test_capacity_is_bounded(self):
+        clear_cache()
+        old_max = deps_module._DEPS_CACHE_MAX
+        deps_module._DEPS_CACHE_MAX = 4
+        try:
+            for k in range(8):
+                analyze_loop(
+                    parse_loop(f"for (i = 0; i < {k + 1}; i++) s += a[i];")
+                )
+            assert cache_stats()["entries"] == 4
+        finally:
+            deps_module._DEPS_CACHE_MAX = old_max
+            clear_cache()
 
 
 class TestAccessCollection:
