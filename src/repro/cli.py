@@ -14,7 +14,9 @@
 ``repro bundle``       pack/unpack a saved suggester bundle to/from a
                        single archive file
 ``repro cache``        maintain a persistent suggestion cache
-                       (``gc`` prunes by size/age)
+                       (``gc`` prunes by size/age, ``stats`` reports
+                       entry counts/bytes per layer and the in-process
+                       analysis memo counters)
 """
 
 from __future__ import annotations
@@ -137,6 +139,20 @@ def eval_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _shards_arg(value: str):
+    """``--shards`` parser: a positive integer or the string ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+    if shards < 1:
+        raise argparse.ArgumentTypeError("shard count must be >= 1")
+    return shards
+
+
 def suggest_dir_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro suggest-dir",
@@ -148,10 +164,11 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="glob for source files (default: *.c)")
     parser.add_argument("--workers", type=int, default=1,
                         help="parse-stage worker processes (1 = in-process)")
-    parser.add_argument("--shards", type=int, default=1,
+    parser.add_argument("--shards", type=_shards_arg, default=1,
                         help="end-to-end corpus shards: the whole parse/"
                              "encode/forward pipeline runs in N worker "
-                             "processes (1 = in-process)")
+                             "processes (1 = in-process, 'auto' picks a "
+                             "count from corpus size and CPUs)")
     parser.add_argument("--stream", action="store_true",
                         help="emit one NDJSON record per file on stdout "
                              "as results complete (summary goes to "
@@ -321,7 +338,42 @@ def cache_main(argv: list[str] | None = None) -> int:
                          "(least-recently-written evicted first)")
     gc.add_argument("--max-age-days", type=float, default=None,
                     help="drop entries older than this many days")
+    stats = sub.add_parser(
+        "stats",
+        help="inspect a cache directory (entry counts/bytes per layer) "
+             "plus the in-process analysis memo counters")
+    stats.add_argument("cache_dir", help="cache directory to inspect")
+    stats.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON object")
     args = parser.parse_args(argv)
+
+    if args.action == "stats":
+        from repro.serve import SuggestionStore
+        from repro.tools.deps import cache_stats as deps_cache_stats
+
+        # note: no store hit/miss counters here — those are per-process
+        # (this process did no lookups); the on-disk scan is the truth
+        payload = {
+            "store": SuggestionStore(args.cache_dir).describe(),
+            "analyze_loop": deps_cache_stats(),
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        d = payload["store"]
+        if not d["exists"]:
+            print(f"cache {d['root']}: not created yet")
+        else:
+            print(f"cache {d['root']}: {d['total_bytes']} bytes")
+            print(f"  parse: {d['parse']['entries']} entries "
+                  f"({d['parse']['bytes']} bytes)")
+            print(f"  suggest: {d['suggest']['entries']} entries "
+                  f"({d['suggest']['bytes']} bytes) across "
+                  f"{d['suggest']['models']} model fingerprints")
+        memo = payload["analyze_loop"]
+        print(f"analyze_loop memo (this process): {memo['entries']} "
+              f"entries, {memo['hits']} hits, {memo['misses']} misses")
+        return 0
 
     if args.max_bytes is None and args.max_age_days is None:
         print("cache gc: pass --max-bytes and/or --max-age-days "

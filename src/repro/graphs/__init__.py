@@ -9,6 +9,7 @@ from repro.graphs.hetgraph import EdgeType, HetGraph, NODE_POSITIONS, RELATIONS
 from repro.graphs.augast import build_aug_ast, build_vanilla_ast
 from repro.graphs.vocab import Vocab, GraphVocab, build_graph_vocab
 from repro.graphs.encode import (
+    CollateCache,
     EncodeCache,
     EncodedGraph,
     GraphBatch,
@@ -27,6 +28,7 @@ __all__ = [
     "Vocab",
     "GraphVocab",
     "build_graph_vocab",
+    "CollateCache",
     "EncodeCache",
     "EncodedGraph",
     "GraphBatch",

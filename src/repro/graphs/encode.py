@@ -167,6 +167,52 @@ class GraphBatch:
         return int(self.type_ids.shape[0])
 
 
+class CollateCache:
+    """LRU memo of graph-list → collated :class:`GraphBatch`.
+
+    Training and evaluation revisit the same mini-batches — every
+    epoch's validation pass slices the data identically, and serving
+    runs every model over the same chunks.  Keyed by the identity of
+    the graphs in order, a hit returns the previously collated batch,
+    whose ``struct_cache`` (type sort, edge concatenation, destination
+    sort) already carries the structural precomputation: only the
+    float math reruns.  Entries pin their graph lists alive so ``id``
+    keys can never be recycled while cached.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, tuple[list[EncodedGraph], GraphBatch]] \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def collate(self, graphs: list[EncodedGraph]) -> GraphBatch:
+        key = tuple(id(g) for g in graphs)
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        batch = collate(graphs)
+        self._store[key] = (list(graphs), batch)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return batch
+
+    def stats(self) -> dict:
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}
+
+    def clear(self) -> None:
+        """Release every cached batch (and the graphs they pin)."""
+        self._store.clear()
+
+
 def collate(graphs: list[EncodedGraph]) -> GraphBatch:
     """Merge graphs with node-index offsets into one batch."""
     if not graphs:

@@ -8,7 +8,14 @@ optimizers.  Heavy math stays inside numpy/BLAS per the ml-systems guide
 (vectorise, don't loop).
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    fast_math_enabled,
+    set_fast_math,
+    use_fast_math,
+)
 from repro.nn import functional
 from repro.nn.module import (
     Dropout,
@@ -29,6 +36,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "fast_math_enabled",
+    "set_fast_math",
+    "use_fast_math",
     "functional",
     "Module",
     "Parameter",

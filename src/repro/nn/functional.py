@@ -6,6 +6,8 @@ import numpy as np
 
 from repro.nn.tensor import (
     Tensor,
+    _as_array,
+    fast_math_enabled,
     log_softmax,
     segment_mean,
     segment_softmax,
@@ -35,9 +37,14 @@ def cross_entropy(logits: Tensor, labels: np.ndarray,
     """Mean cross-entropy of ``(B, C)`` logits against integer labels.
 
     ``weight`` optionally rescales each class (used to balance the
-    parallel / non-parallel class skew of OMP_Serial).
+    parallel / non-parallel class skew of OMP_Serial).  The default
+    fused kernel runs softmax, pick, and reduction as one tape node;
+    its loss and gradient are bit-identical to the composed-op path
+    (``repro.nn.tensor.use_fast_math(False)`` restores the latter).
     """
     labels = np.asarray(labels, dtype=np.int64)
+    if fast_math_enabled():
+        return _fused_cross_entropy(logits, labels, weight)
     logp = log_softmax(logits, axis=-1)
     rows = np.arange(labels.shape[0])
     picked = logp[rows, labels]
@@ -45,6 +52,42 @@ def cross_entropy(logits: Tensor, labels: np.ndarray,
         w = np.asarray(weight, dtype=np.float32)[labels]
         return -(picked * Tensor(w)).sum() * (1.0 / max(w.sum(), 1e-8))
     return -picked.mean()
+
+
+def _fused_cross_entropy(logits: Tensor, labels: np.ndarray,
+                         weight: np.ndarray | None) -> Tensor:
+    """Softmax + pick + (weighted) mean reduction as one tape node.
+
+    Replays the composed ``log_softmax → gather → mean`` chain's
+    expressions in tape order, so loss values and logits gradients
+    match the composed path bit-for-bit.
+    """
+    z = logits.data
+    shifted = z - z.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    logp = (shifted - lse).astype(z.dtype, copy=False)
+    p = np.exp(logp)
+    rows = np.arange(labels.shape[0])
+    picked = logp[rows, labels]
+    if weight is not None:
+        w32 = np.asarray(weight, dtype=np.float32)[labels]
+        w = _as_array(w32)
+        scale = _as_array(1.0 / max(w32.sum(), 1e-8))
+        value = -(picked * w).sum() * scale
+    else:
+        inv_count = _as_array(1.0 / picked.size)
+        value = -(picked.sum() * inv_count)
+
+    def backward(g: np.ndarray) -> None:
+        if weight is not None:
+            g_picked = np.broadcast_to(-(g * scale), picked.shape) * w
+        else:
+            g_picked = np.broadcast_to(-g * inv_count, picked.shape)
+        grad = np.zeros_like(logp)
+        np.add.at(grad, (rows, labels), g_picked)
+        logits._accumulate_owned(grad - p * grad.sum(axis=-1, keepdims=True))
+
+    return logits._make(np.asarray(value), (logits,), backward)
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:

@@ -6,7 +6,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, fast_math_enabled, fused_layer_norm
 
 
 class Parameter(Tensor):
@@ -199,7 +199,12 @@ class Embedding(Module):
 
 
 class LayerNorm(Module):
-    """Per-row normalisation with learned scale/shift."""
+    """Per-row normalisation with learned scale/shift.
+
+    The default fused kernel runs the whole normalise-scale-shift as a
+    single tape node; values and gradients are bit-identical to the
+    composed chain below, which ``use_fast_math(False)`` restores.
+    """
 
     def __init__(self, dim: int, eps: float = 1e-5) -> None:
         super().__init__()
@@ -208,6 +213,8 @@ class LayerNorm(Module):
         self.eps = eps
 
     def forward(self, x: Tensor) -> Tensor:
+        if fast_math_enabled():
+            return fused_layer_norm(x, self.gamma, self.beta, self.eps)
         mu = x.mean(axis=-1, keepdims=True)
         centered = x - mu
         var = (centered * centered).mean(axis=-1, keepdims=True)

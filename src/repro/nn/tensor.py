@@ -25,6 +25,36 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
+#: When True (the default), layers route through the fused training
+#: kernels (:func:`typed_linear`, :func:`fused_layer_norm`,
+#: :func:`fused_cross_entropy`) and the optimizers reuse gradient /
+#: scratch buffers.  The fused paths replay the composed tape's
+#: arithmetic operation-for-operation, so results are bit-identical;
+#: flipping this off restores the original composed tape for
+#: benchmarking and parity tests.
+_FAST_MATH = True
+
+
+def fast_math_enabled() -> bool:
+    return _FAST_MATH
+
+
+def set_fast_math(enabled: bool) -> None:
+    global _FAST_MATH
+    _FAST_MATH = bool(enabled)
+
+
+@contextlib.contextmanager
+def use_fast_math(enabled: bool):
+    """Temporarily enable/disable the fused training fast path."""
+    global _FAST_MATH
+    prev = _FAST_MATH
+    _FAST_MATH = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_MATH = prev
+
 #: Default floating dtype; float32 for speed.  Tests flip this to float64
 #: for tight numerical gradient checks.
 DEFAULT_DTYPE = np.float32
@@ -91,6 +121,69 @@ def scatter_add_rows(target: np.ndarray, idx: np.ndarray,
         ).reshape(n, d).astype(target.dtype, copy=False)
         return
     np.add.at(target, idx, values)
+
+
+def scatter_rounds(idx: np.ndarray, max_rounds: int = 64):
+    """Duplicate-index decomposition for a bit-exact fast ``np.add.at``.
+
+    ``np.add.at`` applies row updates strictly in occurrence order,
+    one element at a time — correct, and painfully slow.  Splitting the
+    positions into *rounds*, where round ``r`` holds the ``r``-th
+    occurrence of every distinct index, lets each round run as one
+    vectorised fancy-index ``+=`` (its targets are unique), while each
+    target position still receives its contributions in occurrence
+    order — so the result is bit-identical to ``np.add.at``.
+
+    Returns ``[(targets, positions)]`` per round (``positions is None``
+    for the all-unique single round), or ``None`` when the deepest
+    duplicate chain exceeds ``max_rounds`` and the per-round overhead
+    would lose to ``np.add.at`` (callers fall back).  The decomposition
+    depends only on ``idx``, so batches cache it across layers, models
+    and epochs.
+    """
+    idx = np.asarray(idx)
+    n = idx.shape[0]
+    if n == 0:
+        return []
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_idx[1:] != sorted_idx[:-1])))
+    counts = np.diff(np.append(starts, n))
+    max_dup = int(counts.max())
+    if max_dup == 1:
+        return [(idx, None)]
+    if max_dup > max_rounds:
+        return None
+    ranks = np.arange(n) - np.repeat(starts, counts)
+    rank_order = np.argsort(ranks, kind="stable")
+    bounds = np.flatnonzero(np.diff(ranks[rank_order])) + 1
+    rounds = []
+    for piece in np.split(rank_order, bounds):
+        sel = order[piece]
+        rounds.append((idx[sel], sel))
+    return rounds
+
+
+def scatter_add_exact(target: np.ndarray, idx: np.ndarray,
+                      values: np.ndarray, rounds=None) -> None:
+    """``np.add.at(target, idx, values)``, bit for bit, via
+    :func:`scatter_rounds` when a decomposition is available.
+
+    ``rounds=None`` computes the decomposition here; ``rounds=False``
+    is the cached "no decomposition wins" verdict and goes straight to
+    ``np.add.at`` without re-deriving it.
+    """
+    if rounds is None:
+        rounds = scatter_rounds(idx)
+    if rounds is None or rounds is False:
+        np.add.at(target, idx, values)
+        return
+    for tgt, sel in rounds:
+        if sel is None:
+            target[tgt] += values
+        else:
+            target[tgt] += values[sel]
 
 
 def segment_max_rows(idx: np.ndarray, values: np.ndarray,
@@ -165,6 +258,17 @@ class Tensor:
             self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """:meth:`_accumulate` for a gradient array the caller hands
+        over (freshly allocated, never reused): adopting it in place
+        skips the defensive first-accumulation copy.  Values are
+        unchanged — a copy of ``grad`` is ``grad``."""
+        if (self.grad is None and grad.dtype == self.data.dtype
+                and grad.shape == self.data.shape):
+            self.grad = grad
+        else:
+            self._accumulate(grad)
 
     # -- backprop driver ------------------------------------------------------
 
@@ -346,8 +450,23 @@ class Tensor:
         data *= 0.5
 
         def backward(g: np.ndarray) -> None:
-            dt = (1.0 - t * t) * c * (1.0 + (3 * 0.044715) * x_sq)
-            self._accumulate(g * (0.5 * (1.0 + t) + 0.5 * x * dt))
+            # staged in place, operation order unchanged:
+            # dt = (1 - t²)·c·(1 + 3·0.044715·x²)
+            dt = t * t
+            np.subtract(1.0, dt, out=dt)
+            dt *= c
+            w = x_sq * (3 * 0.044715)
+            w += 1.0
+            dt *= w
+            # g · (0.5·(1 + t) + (0.5·x)·dt), keeping the original
+            # multiply grouping
+            out_g = 1.0 + t
+            out_g *= 0.5
+            v = x * 0.5
+            v *= dt
+            out_g += v
+            out_g *= g
+            self._accumulate_owned(out_g)
 
         return self._make(data, (self,), backward)
 
@@ -565,3 +684,161 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
         x._accumulate(g - p * g.sum(axis=axis, keepdims=True))
 
     return x._make(out.astype(z.dtype), (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Fused training kernels
+#
+# Each op below collapses a chain of tape nodes into a single node whose
+# forward and backward replay the composed chain's numpy expressions in
+# the same order, so losses, gradients, and therefore optimizer states
+# are bit-identical to the composed path (the only tolerated divergence
+# is the sign of exactly-zero gradient entries, which no optimizer
+# update can observe).  The payoff is tape length: one closure instead
+# of dozens, no per-node zeros_like/scatter churn on the hot path.
+# ---------------------------------------------------------------------------
+
+
+def type_sort(type_ids: np.ndarray) -> tuple:
+    """``(order, sorted_types, group_starts, group_ends)`` for a type array.
+
+    The structural half of :func:`typed_linear`: rows grouped by type via
+    one stable argsort.  Batches cache it (``GraphBatch.struct_cache``)
+    so repeated forwards over one batch sort exactly once.
+    """
+    order = np.argsort(type_ids, kind="stable")
+    sorted_types = type_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_types)) + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_ends = np.concatenate((boundaries, [len(sorted_types)]))
+    return order, sorted_types, group_starts, group_ends
+
+
+def typed_linear(x: Tensor, weight: Tensor, bias: Tensor,
+                 type_ids: np.ndarray, sort: tuple | None = None,
+                 out_shape: tuple[int, ...] | None = None) -> Tensor:
+    """Per-row typed affine map ``x_i @ weight[type_ids[i]] + bias[type_ids[i]]``.
+
+    One autograd node for what the composed tape spells as, per present
+    type, a row gather + matmul + bias add, then a concat and an
+    un-permute (~3G+2 nodes for G types).  Forward gathers rows into
+    type order once and runs one contiguous matmul per present type;
+    the fused backward runs the per-type transposed matmuls and writes
+    weight/bias gradients straight into their type slots (types
+    partition the rows, so no scatter conflicts exist), and row
+    gradients through a single inverse permutation.  ``out_shape``
+    folds a following reshape (e.g. the per-head split) into the same
+    node — a free view instead of one more tape node and gradient copy.
+    """
+    if sort is None:
+        sort = type_sort(np.asarray(type_ids, dtype=np.int64))
+    order, sorted_types, group_starts, group_ends = sort
+    groups = list(zip(sorted_types[group_starts].tolist(),
+                      group_starts.tolist(), group_ends.tolist()))
+    xd, wd, bd = x.data, weight.data, bias.data
+    xs = xd[order]
+    out_sorted = np.empty((xd.shape[0], wd.shape[2]), dtype=xd.dtype)
+    for t, start, end in groups:
+        np.matmul(xs[start:end], wd[t], out=out_sorted[start:end])
+        out_sorted[start:end] += bd[t]
+    out = np.empty_like(out_sorted)
+    out[order] = out_sorted
+    flat_shape = out_sorted.shape      # the closure needs only the shape
+    if out_shape is not None:
+        out = out.reshape(out_shape)
+
+    def backward(g: np.ndarray) -> None:
+        if out_shape is not None:
+            g = g.reshape(flat_shape)
+        gs = g[order]
+        if weight.requires_grad:
+            gw = np.zeros_like(wd)
+            for t, start, end in groups:
+                np.matmul(xs[start:end].T, gs[start:end], out=gw[t])
+            weight._accumulate_owned(gw)
+        if bias.requires_grad:
+            gb = np.zeros_like(bd)
+            for t, start, end in groups:
+                gs[start:end].sum(axis=0, out=gb[t])
+            bias._accumulate_owned(gb)
+        if x.requires_grad:
+            gx_sorted = np.empty_like(xs)
+            for t, start, end in groups:
+                np.matmul(gs[start:end], wd[t].T, out=gx_sorted[start:end])
+            gx = np.empty_like(gx_sorted)
+            gx[order] = gx_sorted
+            x._accumulate_owned(gx)
+
+    return x._make(out, (x, weight, bias), backward)
+
+
+def embedding_sum(weights: list[Tensor], ids_list: list[np.ndarray]) -> Tensor:
+    """``sum(w[ids] for w, ids in zip(...))`` as one tape node.
+
+    The composed chain spells this as one gather node per table plus a
+    cascade of adds, each copying a full ``(N, D)`` gradient; the fused
+    backward scatters the single upstream gradient straight into each
+    table (the same ``np.add.at`` calls, so values are bit-identical).
+    """
+    # integer-array gathers always return fresh arrays, so the
+    # accumulation below never writes into a table
+    out = weights[0].data[np.asarray(ids_list[0])]
+    for w, ids in zip(weights[1:], ids_list[1:]):
+        out += w.data[ids]
+
+    def backward(g: np.ndarray) -> None:
+        for w, ids in zip(weights, ids_list):
+            if w.requires_grad:
+                gw = np.zeros_like(w.data)
+                np.add.at(gw, ids, g)
+                w._accumulate_owned(gw)
+
+    first = weights[0]
+    node = first._make(out, tuple(weights), backward)
+    return node
+
+
+def fused_layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+                     eps: float) -> Tensor:
+    """LayerNorm forward/backward as one tape node.
+
+    Mirrors the composed ``mean → center → var → rsqrt → scale/shift``
+    chain expression-for-expression (including the two separate row
+    gradient contributions the chain delivers to ``x``), so values and
+    gradients match it bit-for-bit.
+    """
+    xd = x.data
+    inv_count = _as_array(1.0 / xd.shape[-1])
+    eps_arr = _as_array(eps)
+    mu = xd.sum(axis=-1, keepdims=True) * inv_count
+    centered = xd - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+    inv_std = (var + eps_arr) ** -0.5
+    normed = centered * inv_std
+    out = normed * gamma.data + beta.data
+
+    def backward(g: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(g)
+        g_normed = g * gamma.data
+        if gamma.requires_grad:
+            gamma._accumulate(g * normed)
+        # centered receives three composed contributions in tape order:
+        # through normed, then twice through the squared term of var.
+        g_centered = (g_normed * inv_std).astype(xd.dtype, copy=True)
+        g_inv_std = _unbroadcast(g_normed * centered, inv_std.shape)
+        g_var = g_inv_std * -0.5 * (var + eps_arr) ** -1.5
+        g_sq = np.broadcast_to(g_var * inv_count, xd.shape)
+        g_sq_centered = g_sq * centered
+        g_centered += g_sq_centered
+        g_centered += g_sq_centered
+        if x.requires_grad:
+            # the composed chain accumulates into x twice: once through
+            # centered (x - mu), once through the mean's sum node — and
+            # the broadcast add sums the row grad to (N, 1) *before*
+            # the 1/D scale, exactly as the chain's unbroadcast does
+            x._accumulate_owned(g_centered)
+            g_mu = _unbroadcast(g_centered, inv_std.shape)
+            x._accumulate(np.broadcast_to(-g_mu * inv_count, xd.shape))
+
+    return x._make(out, (x, gamma, beta), backward)

@@ -21,7 +21,7 @@ from repro.serve.pipeline import (
     SuggestionService,
     build_service,
 )
-from repro.serve.plan import Shard, plan_shards
+from repro.serve.plan import Shard, auto_shards, plan_shards, resolve_shards
 from repro.serve.store import STORE_VERSION, SuggestionStore, content_key
 from repro.serve.stream import ServeError, merge_results, stream_shards
 from repro.serve.worker import WorkerSpec
@@ -36,11 +36,13 @@ __all__ = [
     "SuggestionService",
     "SuggestionStore",
     "WorkerSpec",
+    "auto_shards",
     "build_service",
     "content_key",
     "merge_results",
     "parse_many",
     "parse_one",
     "plan_shards",
+    "resolve_shards",
     "stream_shards",
 ]

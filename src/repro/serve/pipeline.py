@@ -51,7 +51,9 @@ class ServeConfig:
     workers: int = 1          # parse-stage processes (1 = in-process)
     batch_size: int = 256     # graphs per collate in the forward pass
     cache_entries: int = 4096  # per-vocab encode-cache capacity
-    shards: int = 1           # end-to-end corpus shards (1 = in-process)
+    #: end-to-end corpus shards; 1 = in-process, "auto" (or 0) picks a
+    #: count from corpus stats and CPU count (1 CPU stays in-process)
+    shards: int | str = 1
 
 
 @dataclass
@@ -310,16 +312,21 @@ class SuggestionService:
         entire pipeline inside that many worker processes, each
         committing to the shared persistent store and streaming
         finished files back as they complete; ``shards`` defaults to
-        the service config.  ``ordered=True`` re-interleaves results
+        the service config, and ``"auto"`` (or ``0``) picks a count
+        from corpus statistics and the CPU count — falling back to
+        in-process on a single CPU, where forked workers only add
+        overhead.  ``ordered=True`` re-interleaves results
         into input order (buffering out-of-order arrivals);
         ``ordered=False`` yields in completion order for lowest
         first-result latency.  Suggestions are byte-identical across
         shard counts and orderings.
         """
+        from repro.serve.plan import resolve_shards
         from repro.serve.stream import merge_results, stream_shards
 
         named = list(named_sources)
-        n_shards = self.config.shards if shards is None else shards
+        n_shards = resolve_shards(
+            self.config.shards if shards is None else shards, named)
         if n_shards > 1 and len(named) > 1:
             results = stream_shards(
                 self._worker_spec(), named, n_shards,

@@ -12,7 +12,56 @@ suggestion-store keys and golden tests can pin shard contents.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
+
+#: auto-sharding refuses to cut shards smaller than this many source
+#: bytes — below it, worker spawn + model transfer overhead beats the
+#: parallelism
+MIN_BYTES_PER_SHARD = 16 * 1024
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the host; under cgroup limits or CPU
+    affinity (containers, CI runners) the process may own far fewer.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):      # non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def auto_shards(n_files: int, total_bytes: int,
+                cpus: int | None = None) -> int:
+    """Pick an end-to-end shard count from corpus stats and CPU count.
+
+    One effective CPU (or a single file) always serves in-process:
+    forked workers cannot beat the batch path without a second core,
+    and ``BENCH_shard_scaling.json`` recorded a 0.81× regression for
+    ``shards=2, cpus=1``.  Otherwise the count is capped by the CPUs
+    available, the file count (a file is the unit of work), and the
+    corpus size in bytes, so small corpora never pay spawn costs that
+    exceed their compute.
+    """
+    if cpus is None:
+        cpus = effective_cpu_count()
+    if cpus <= 1 or n_files <= 1:
+        return 1
+    by_bytes = int(total_bytes // MIN_BYTES_PER_SHARD)
+    return max(1, min(cpus, n_files, by_bytes))
+
+
+def resolve_shards(shards, named_sources: list[tuple[str, str]]) -> int:
+    """Normalise a shard setting (int, 0, or ``"auto"``) to a count."""
+    if shards == "auto" or shards == 0:
+        return auto_shards(len(named_sources),
+                           sum(len(source) for _, source in named_sources))
+    if isinstance(shards, int) and shards >= 1:
+        return shards
+    raise ValueError(
+        f"shards must be a positive int, 0, or 'auto', got {shards!r}")
 
 
 @dataclass

@@ -186,3 +186,40 @@ class SuggestionStore:
             "suggest_hits": self.suggest_hits,
             "suggest_misses": self.suggest_misses,
         }
+
+    def describe(self) -> dict:
+        """On-disk shape of the cache: entry counts and bytes per layer.
+
+        Unlike :meth:`stats` (this process's hit/miss counters), this
+        scans the directory, so ``repro cache stats`` can inspect a
+        cache other runs populated.  Every versioned subtree under the
+        base root is counted; per-model suggestion entries are grouped
+        by model key.  Entries vanishing mid-scan are skipped.
+        """
+        layers = {
+            "parse": {"entries": 0, "bytes": 0},
+            "suggest": {"entries": 0, "bytes": 0, "models": 0},
+        }
+        if self.base.is_dir():
+            model_keys: set[str] = set()
+            for path in self.base.rglob("*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                layer = path.parent
+                if layer.name == "parse":
+                    layers["parse"]["entries"] += 1
+                    layers["parse"]["bytes"] += size
+                elif layer.parent.name == "suggest":
+                    layers["suggest"]["entries"] += 1
+                    layers["suggest"]["bytes"] += size
+                    model_keys.add(layer.name)
+            layers["suggest"]["models"] = len(model_keys)
+        return {
+            "root": str(self.base),
+            "exists": self.base.is_dir(),
+            **layers,
+            "total_bytes": layers["parse"]["bytes"]
+            + layers["suggest"]["bytes"],
+        }

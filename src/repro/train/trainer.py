@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.dataset.sample import LoopSample
 from repro.graphs import (
+    CollateCache,
     GraphVocab,
     REPRESENTATION_BUILDERS,
     build_graph_vocab,
@@ -22,7 +23,7 @@ from repro.graphs import (
 from repro.graphs.encode import EncodeCache, EncodedGraph
 from repro.models.pragformer import build_token_vocab, encode_tokens, tokenize_loop
 from repro.nn import Adam, clip_grad_norm, cosine_schedule, functional as F
-from repro.nn.tensor import no_grad
+from repro.nn.tensor import fast_math_enabled, no_grad
 from repro.train.metrics import classification_metrics
 
 
@@ -133,6 +134,8 @@ class GraphTrainer:
         self.model = model
         self.config = config or TrainConfig()
         self._opt: Adam | None = None
+        self._batches = CollateCache()
+        self._cache_collate = False
         self.history: list[dict] = []
 
     @property
@@ -142,9 +145,49 @@ class GraphTrainer:
                              weight_decay=self.config.weight_decay)
         return self._opt
 
+    def _collate(self, graphs: list[EncodedGraph]):
+        """Epoch-persistent collation, scoped to ``fit``'s evaluations.
+
+        Inside ``fit`` the per-epoch validation pass slices the same
+        data identically every epoch, so each distinct mini-batch
+        collates once and its cached :class:`GraphBatch` returns with
+        structural precomputation (type sort, edge structure, scatter
+        rounds) intact.  Everything else bypasses the cache: shuffled
+        training batches and one-shot external predictions can never
+        hit, so caching them would only pin memory and churn the LRU.
+        """
+        if self._cache_collate and fast_math_enabled():
+            return self._batches.collate(graphs)
+        return collate(graphs)
+
+    def __getstate__(self) -> dict:
+        # the collate cache is pure memoisation and can be large (every
+        # batch pins its graphs); shard workers receiving pickled
+        # models rebuild it on demand instead of paying for the bytes
+        state = dict(self.__dict__)
+        state["_batches"] = CollateCache(self._batches.max_entries)
+        return state
+
     def fit(self, train_data: list[EncodedGraph],
             val_data: list[EncodedGraph] | None = None) -> list[dict]:
+        self._cache_collate = True
+        try:
+            return self._fit(train_data, val_data)
+        finally:
+            self._cache_collate = False
+            # nothing can hit these entries after fit — release the
+            # collated val batches and the graph lists they pin
+            self._batches.clear()
+
+    def _fit(self, train_data: list[EncodedGraph],
+             val_data: list[EncodedGraph] | None) -> list[dict]:
         cfg = self.config
+        if val_data is not None:
+            # every epoch's validation pass must fit in the collate
+            # cache, or the LRU churns without a single hit
+            needed = -(-len(val_data) // cfg.batch_size)
+            self._batches.max_entries = max(self._batches.max_entries,
+                                            needed)
         rng = np.random.default_rng(cfg.seed)
         labels = np.array([g.label for g in train_data])
         num_classes = self.model.config.num_classes
@@ -201,7 +244,7 @@ class GraphTrainer:
         preds: list[np.ndarray] = []
         with no_grad():
             for start in range(0, len(data), bs):
-                batch = collate(data[start: start + bs])
+                batch = self._collate(data[start: start + bs])
                 preds.append(F.predict_classes(self.model(batch)))
         return np.concatenate(preds) if preds else np.zeros(0, dtype=int)
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.cfront import parse_loop
 from repro.graphs import (
+    CollateCache,
     EdgeType,
     EncodeCache,
     GraphVocab,
@@ -220,3 +221,48 @@ class TestEncodeCache:
     def test_rejects_unknown_representation(self):
         with pytest.raises(ValueError):
             EncodeCache(GraphVocab(), representation="nope")
+
+
+class TestCollateCache:
+    def _encoded(self):
+        gs = graphs()
+        vocab = build_graph_vocab(gs)
+        return [encode_graph(g, vocab) for g in gs]
+
+    def test_hit_returns_same_batch_object(self):
+        data = self._encoded()
+        cache = CollateCache()
+        first = cache.collate(data)
+        first.struct_cache["probe"] = "kept"
+        again = cache.collate(data)
+        assert again is first
+        assert again.struct_cache["probe"] == "kept"
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_different_order_is_different_batch(self):
+        data = self._encoded()
+        cache = CollateCache()
+        a = cache.collate(data)
+        b = cache.collate(list(reversed(data)))
+        assert a is not b
+        assert cache.stats()["misses"] == 2
+
+    def test_matches_plain_collate(self):
+        data = self._encoded()
+        cached = CollateCache().collate(data)
+        plain = collate(data)
+        assert cached.type_ids.tobytes() == plain.type_ids.tobytes()
+        assert cached.graph_ids.tobytes() == plain.graph_ids.tobytes()
+        for rel in RELATIONS:
+            assert cached.edges[rel].tobytes() == plain.edges[rel].tobytes()
+
+    def test_lru_eviction(self):
+        data = self._encoded()
+        cache = CollateCache(max_entries=2)
+        a = cache.collate(data[:1])
+        cache.collate(data[1:2])
+        cache.collate(data[2:3])       # evicts the first entry
+        assert len(cache) == 2
+        b = cache.collate(data[:1])    # miss again
+        assert b is not a
+        assert cache.stats()["hits"] == 0

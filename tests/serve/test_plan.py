@@ -2,7 +2,9 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.serve import plan_shards
+import pytest
+
+from repro.serve import ServeConfig, auto_shards, plan_shards, resolve_shards
 
 
 def _named(sizes):
@@ -67,3 +69,49 @@ class TestPlanShards:
         assert all(s.items for s in shards)
         assert all(s.total_bytes == sum(len(src) for _, src in s.items)
                    for s in shards)
+
+
+class TestAutoShards:
+    def test_single_cpu_stays_in_process(self):
+        # the BENCH_shard_scaling 0.81x regression: forked workers on
+        # one core only add overhead
+        assert auto_shards(96, 10_000_000, cpus=1) == 1
+
+    def test_single_file_stays_in_process(self):
+        assert auto_shards(1, 10_000_000, cpus=16) == 1
+
+    def test_capped_by_cpus(self):
+        assert auto_shards(1000, 100_000_000, cpus=4) == 4
+
+    def test_capped_by_file_count(self):
+        # a file is the unit of work: never more shards than files
+        assert auto_shards(3, 100_000_000, cpus=16) == 3
+
+    def test_capped_by_corpus_bytes(self):
+        # a tiny corpus never fans out, however many files it has
+        assert auto_shards(1000, 20_000, cpus=16) == 1
+
+    def test_resolve_passthrough_and_auto(self):
+        named = [(f"f{i}.c", "x" * 4096) for i in range(64)]
+        assert resolve_shards(3, named) == 3
+        assert resolve_shards("auto", named) == \
+            auto_shards(64, 64 * 4096)
+        assert resolve_shards(0, named) == resolve_shards("auto", named)
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_shards("many", [])
+        with pytest.raises(ValueError):
+            resolve_shards(-2, [])
+
+    def test_serve_config_accepts_auto(self):
+        assert ServeConfig(shards="auto").shards == "auto"
+
+    def test_few_large_files_still_fan_out(self):
+        # 4 x 10 MB files on a 16-core box: one shard per file
+        assert auto_shards(4, 4 * 10_000_000, cpus=16) == 4
+
+    def test_effective_cpu_count_positive(self):
+        from repro.serve.plan import effective_cpu_count
+
+        assert effective_cpu_count() >= 1

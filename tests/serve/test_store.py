@@ -342,3 +342,24 @@ class TestStoreGC:
         )
         assert result == {"removed_files": 0, "removed_bytes": 0,
                           "kept_files": 0, "kept_bytes": 0}
+
+
+class TestDescribe:
+    def test_counts_layers_on_disk(self, tmp_path):
+        store = SuggestionStore(tmp_path / "cache")
+        assert store.describe()["exists"] is False
+        store.put_parse("p1", {"requests": [], "error": None})
+        store.put_parse("p2", {"requests": [], "error": None})
+        store.put_suggestions("m1", "p1", {"suggestions": [], "error": None})
+        d = store.describe()
+        assert d["exists"] is True
+        assert d["parse"]["entries"] == 2
+        assert d["suggest"]["entries"] == 1
+        assert d["suggest"]["models"] == 1
+        assert d["total_bytes"] == d["parse"]["bytes"] + d["suggest"]["bytes"]
+        assert d["parse"]["bytes"] > 0
+
+    def test_fresh_store_counters_are_zero(self, tmp_path):
+        store = SuggestionStore(tmp_path / "cache")
+        assert store.stats() == {"parse_hits": 0, "parse_misses": 0,
+                                 "suggest_hits": 0, "suggest_misses": 0}

@@ -164,6 +164,44 @@ class TestCacheGcCLI:
         assert main(["cache", "gc", str(tmp_path)]) == 2
         assert "--max-bytes" in capsys.readouterr().err
 
+    def test_stats_reports_layers_and_memo(self, tmp_path, capsys):
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        store.put_parse("k1", {"requests": [], "error": None})
+        store.put_suggestions("modelA", "k1",
+                              {"suggestions": [], "error": None})
+        store.put_suggestions("modelB", "k1",
+                              {"suggestions": [], "error": None})
+        code = main(["cache", "stats", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parse: 1 entries" in out
+        assert "suggest: 2 entries" in out
+        assert "2 model fingerprints" in out
+        assert "analyze_loop memo" in out
+
+    def test_stats_json_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        store.put_parse("k1", {"requests": [], "error": None})
+        assert main(["cache", "stats", str(tmp_path / "cache"),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["parse"]["entries"] == 1
+        assert set(payload["analyze_loop"]) == {"entries", "hits",
+                                                "misses"}
+        # per-process hit/miss counters would always read zero from a
+        # fresh CLI process, so the payload deliberately omits them
+        assert "store_counters" not in payload
+
+    def test_stats_on_missing_cache(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "nope")]) == 0
+        assert "not created yet" in capsys.readouterr().out
+
 
 class TestSuggestDirCLI:
     SOURCE = """
@@ -223,6 +261,29 @@ class TestSuggestDirCLI:
         assert main(["suggest-dir", str(src_dir), *flags,
                      "--shards", "4", "--out", str(sharded)]) == 0
         assert sharded.read_bytes() == single.read_bytes()
+
+    def test_shards_auto_is_byte_identical(self, tmp_path, capsys):
+        """--shards auto picks a safe count (in-process on this corpus)
+        and matches --shards 1 byte for byte."""
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "k1.c").write_text(self.SOURCE)
+        (src_dir / "k2.c").write_text(self.OTHER)
+        flags = ["--scale", "0.005", "--epochs", "1", "--dim", "16",
+                 "--quiet"]
+        single = tmp_path / "single.json"
+        assert main(["suggest-dir", str(src_dir), *flags,
+                     "--shards", "1", "--out", str(single)]) == 0
+        auto = tmp_path / "auto.json"
+        assert main(["suggest-dir", str(src_dir), *flags,
+                     "--shards", "auto", "--out", str(auto)]) == 0
+        assert auto.read_bytes() == single.read_bytes()
+
+    def test_shards_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["suggest-dir", ".", "--shards", "lots"])
+        with pytest.raises(SystemExit):
+            main(["suggest-dir", ".", "--shards", "0"])
 
     def test_stream_emits_ndjson_per_file(self, tmp_path, capsys):
         import json

@@ -195,3 +195,38 @@ class TestTokenTrainer:
         trainer.fit(ids, mask, labels)
         metrics = trainer.evaluate(t_ids, t_mask, t_labels)
         assert set(metrics) == {"precision", "recall", "f1", "accuracy"}
+
+
+class TestFastPathDeterminism:
+    """The fused fast path must be a pure speedup: same seed, same
+    data => byte-identical training outcome vs the seed composed tape."""
+
+    def _fit(self, tiny_dataset, fast):
+        from repro.nn.tensor import use_fast_math
+
+        train, test = tiny_dataset
+        with use_fast_math(fast):
+            data, vocab = prepare_graph_data(train[:40])
+            val, _ = prepare_graph_data(test[:10], vocab=vocab)
+            model = Graph2Par(vocab, Graph2ParConfig(dim=16, heads=2,
+                                                     layers=2, seed=11))
+            trainer = GraphTrainer(model, TrainConfig(
+                epochs=2, batch_size=8, seed=11))
+            history = trainer.fit(data, val)
+            preds = trainer.predict(val)
+        return history, model.state_dict(), preds
+
+    def test_state_dict_history_preds_identical(self, tiny_dataset):
+        hist_fast, state_fast, preds_fast = self._fit(tiny_dataset, True)
+        hist_seed, state_seed, preds_seed = self._fit(tiny_dataset, False)
+        assert hist_fast == hist_seed
+        assert set(state_fast) == set(state_seed)
+        for key in state_seed:
+            assert state_fast[key].tobytes() == state_seed[key].tobytes(), key
+        assert np.array_equal(preds_fast, preds_seed)
+
+    def test_same_seed_same_result_within_fast_path(self, tiny_dataset):
+        _, state_a, _ = self._fit(tiny_dataset, True)
+        _, state_b, _ = self._fit(tiny_dataset, True)
+        for key in state_a:
+            assert state_a[key].tobytes() == state_b[key].tobytes(), key
