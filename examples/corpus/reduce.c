@@ -1,0 +1,15 @@
+/* Reductions and a serial dependence in one file. */
+double a[2048];
+double total;
+
+void sum(void) {
+    int i;
+    for (i = 0; i < 2048; i++)
+        total += a[i];
+}
+
+void prefix(void) {
+    int i;
+    for (i = 1; i < 2048; i++)
+        a[i] = a[i] + a[i - 1];
+}

@@ -1,0 +1,9 @@
+/* saxpy: the canonical embarrassingly-parallel loop. */
+double x[4096], y[4096];
+double alpha;
+
+void saxpy(void) {
+    int i;
+    for (i = 0; i < 4096; i++)
+        y[i] = alpha * x[i] + y[i];
+}

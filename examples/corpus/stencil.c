@@ -1,0 +1,15 @@
+/* Independent element-wise updates over two buffers. */
+double in[1024], out[1024];
+double c0, c1, c2;
+
+void stencil(void) {
+    int i;
+    for (i = 1; i < 1023; i++)
+        out[i] = c0 * in[i - 1] + c1 * in[i] + c2 * in[i + 1];
+}
+
+void scale(void) {
+    int i;
+    for (i = 0; i < 1024; i++)
+        in[i] = in[i] * c1;
+}

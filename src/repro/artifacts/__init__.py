@@ -30,15 +30,23 @@ from repro.artifacts.bundle import (
     pack_bundle,
     unpack_bundle,
 )
+from repro.artifacts.registry import (
+    BundleRegistry,
+    bundle_name_from_path,
+    parse_bundle_spec,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "BundleError",
+    "BundleRegistry",
     "SuggesterBundle",
+    "bundle_name_from_path",
     "family_of",
     "load_trained",
     "pack_bundle",
+    "parse_bundle_spec",
     "save_trained",
     "unpack_bundle",
 ]

@@ -1,0 +1,101 @@
+"""Named bundle registry for the serving daemon.
+
+A long-lived server hosts *several* advisors at once — one per trained
+bundle — and clients pick one by name over the wire instead of by
+filesystem path.  :class:`BundleRegistry` owns that name → bundle
+mapping: specs arrive from the CLI as ``NAME=PATH`` (or a bare path,
+whose name derives from the file name), every bundle loads strictly at
+registration time (a server must refuse to start on a corrupt
+artifact, not discover it mid-request), and the first registered
+bundle becomes the default a nameless request is served from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.artifacts.bundle import SuggesterBundle
+
+#: archive suffixes stripped when deriving a bundle name from its path
+_ARCHIVE_SUFFIXES = (".tar.gz", ".tgz", ".tar")
+
+
+def bundle_name_from_path(path: str | Path) -> str:
+    """Default registry name of a bundle at ``path``.
+
+    The file (or directory) name with any archive suffix stripped:
+    ``models/advisor.tar.gz`` and ``models/advisor/`` both register as
+    ``advisor``.
+    """
+    name = Path(path).name
+    for suffix in _ARCHIVE_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_bundle_spec(spec: str) -> tuple[str, str]:
+    """``NAME=PATH`` or bare ``PATH`` → ``(name, path)``.
+
+    A Windows-style drive letter (``C:\\...``) is not a name: names
+    must not contain path separators, so anything ambiguous falls back
+    to path-derived naming.
+    """
+    name, sep, path = spec.partition("=")
+    if sep and name and "/" not in name and "\\" not in name:
+        return name, path
+    return bundle_name_from_path(spec), spec
+
+
+class BundleRegistry:
+    """Strictly-loaded, name-addressable suggester bundles."""
+
+    def __init__(self) -> None:
+        self._bundles: dict[str, SuggesterBundle] = {}
+        self.default: str | None = None
+
+    @classmethod
+    def from_specs(cls, specs) -> "BundleRegistry":
+        """Build a registry from ``NAME=PATH`` / ``PATH`` strings.
+
+        Bundles load (strictly) immediately; the first spec becomes
+        the default.  Duplicate names are an error — silently shadowing
+        one advisor with another is how stale advice ships.
+        """
+        registry = cls()
+        for spec in specs:
+            name, path = parse_bundle_spec(spec)
+            registry.add(name, SuggesterBundle.load(path))
+        return registry
+
+    def add(self, name: str, bundle: SuggesterBundle) -> None:
+        if name in self._bundles:
+            raise ValueError(
+                f"bundle name {name!r} registered twice; "
+                f"use NAME=PATH specs to disambiguate"
+            )
+        self._bundles[name] = bundle
+        if self.default is None:
+            self.default = name
+
+    def get(self, name: str | None) -> SuggesterBundle:
+        """The named bundle (``None`` = the default one)."""
+        if name is None:
+            if self.default is None:
+                raise KeyError("registry holds no bundles")
+            name = self.default
+        try:
+            return self._bundles[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown bundle {name!r}; serving: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._bundles)
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bundles

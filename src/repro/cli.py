@@ -10,7 +10,14 @@
                        a whole directory of C files (``--shards N``
                        fans the pipeline out end-to-end across worker
                        processes; ``--stream`` emits NDJSON per file
-                       as results land)
+                       as results land; ``--server ADDR`` serves the
+                       same request through a running daemon instead
+                       of building models in-process)
+``repro serve``        the long-lived suggestion daemon:
+                       ``--listen HOST:PORT`` / ``--unix SOCK``
+                       multiplexes many clients and corpora over one
+                       warm service (``--bundle [NAME=]PATH`` serves
+                       trained bundles by name)
 ``repro bundle``       pack/unpack a saved suggester bundle to/from a
                        single archive file
 ``repro cache``        maintain a persistent suggestion cache
@@ -139,6 +146,17 @@ def eval_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _ndjson_record(record: dict) -> None:
+    """One NDJSON record on stdout, flushed immediately.
+
+    Per-record flushing is load-bearing: downstream consumers (and the
+    end-of-stream detector reading for ``{"event": "done"}``) must see
+    each record as it lands, not when a block buffer happens to fill.
+    """
+    sys.stdout.write(json.dumps(record) + "\n")
+    sys.stdout.flush()
+
+
 def _shards_arg(value: str):
     """``--shards`` parser: a positive integer or the string ``auto``."""
     if value == "auto":
@@ -162,16 +180,26 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     parser.add_argument("directory", help="directory of C files")
     parser.add_argument("--pattern", default="*.c",
                         help="glob for source files (default: *.c)")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="serve through a running `repro serve` "
+                             "daemon at HOST:PORT or unix:/path.sock "
+                             "instead of building models in-process; "
+                             "file contents travel over the wire, "
+                             "results are byte-identical")
     parser.add_argument("--workers", type=int, default=1,
                         help="parse-stage worker processes (1 = in-process)")
-    parser.add_argument("--shards", type=_shards_arg, default=1,
+    parser.add_argument("--shards", type=_shards_arg, default=None,
                         help="end-to-end corpus shards: the whole parse/"
                              "encode/forward pipeline runs in N worker "
                              "processes (1 = in-process, 'auto' picks a "
-                             "count from corpus size and CPUs)")
+                             "count from corpus size and CPUs; with "
+                             "--server, overrides the daemon's per-"
+                             "request fan-out)")
     parser.add_argument("--stream", action="store_true",
                         help="emit one NDJSON record per file on stdout "
-                             "as results complete (summary goes to "
+                             "as results complete, then a final "
+                             '{"event": "done", ...} summary record '
+                             "(the human-readable summary goes to "
                              "stderr)")
     parser.add_argument("--batch-size", type=int, default=256,
                         help="graphs per forward pass")
@@ -179,10 +207,13 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="serve a trained bundle saved by "
                              "`repro train --bundle-out` (zero training "
                              "steps); default trains fast-profile models "
-                             "on the fly")
+                             "on the fly; with --server, the *name* of a "
+                             "bundle the daemon serves")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent suggestion cache: warm runs over "
-                             "unchanged files skip parsing and inference")
+                             "unchanged files skip parsing and inference "
+                             "(ignored with --server: the daemon owns "
+                             "the cache)")
     parser.add_argument("--scale", type=float, default=0.02,
                         help="training-set scale for the on-the-fly models")
     parser.add_argument("--seed", type=int, default=7)
@@ -194,36 +225,70 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="suppress per-loop output")
     args = parser.parse_args(argv)
 
-    from repro.serve import ServeConfig, build_service
-
-    serve_config = ServeConfig(workers=args.workers,
-                               batch_size=args.batch_size,
-                               shards=args.shards)
-    if args.bundle:
-        from repro.artifacts import ArtifactError, SuggesterBundle
-
-        try:
-            bundle = SuggesterBundle.load(args.bundle)
-        except ArtifactError as exc:
-            print(f"cannot load bundle: {exc}", file=sys.stderr)
-            return 2
-        print(f"loaded {bundle.describe()}",
-              file=sys.stderr if args.stream else sys.stdout)
-        service = build_service(bundle, serve_config,
-                                cache_dir=args.cache_dir)
-    else:
-        from repro.eval.config import ExperimentConfig
-        from repro.eval.context import get_context
-
-        ctx = get_context(ExperimentConfig(
-            scale=args.scale, seed=args.seed, epochs=args.epochs,
-            dim=args.dim,
-        ))
-        service = build_service(ctx, serve_config,
-                                cache_dir=args.cache_dir)
     from pathlib import Path
 
     from repro.serve import ServeError
+
+    client = None
+    service = None
+    if args.server:
+        from repro.client import ClientError, connect
+
+        ignored = [
+            flag for flag, value, default in (
+                ("--workers", args.workers, 1),
+                ("--batch-size", args.batch_size, 256),
+                ("--cache-dir", args.cache_dir, None),
+                ("--scale", args.scale, 0.02),
+                ("--seed", args.seed, 7),
+                ("--epochs", args.epochs, 4),
+                ("--dim", args.dim, 32),
+            ) if value != default
+        ]
+        if ignored:
+            print(f"note: {', '.join(ignored)} are ignored with "
+                  f"--server — the daemon's own models and config "
+                  f"serve the request", file=sys.stderr)
+        try:
+            client = connect(args.server)
+        except (ClientError, OSError) as exc:
+            print(f"cannot reach server {args.server}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.bundle and args.bundle not in client.bundles():
+            print(f"server at {args.server} does not serve bundle "
+                  f"{args.bundle!r} (available: {client.bundles()})",
+                  file=sys.stderr)
+            client.close()
+            return 2
+    else:
+        from repro.serve import ServeConfig, build_service
+
+        serve_config = ServeConfig(
+            workers=args.workers, batch_size=args.batch_size,
+            shards=args.shards if args.shards is not None else 1)
+        if args.bundle:
+            from repro.artifacts import ArtifactError, SuggesterBundle
+
+            try:
+                bundle = SuggesterBundle.load(args.bundle)
+            except ArtifactError as exc:
+                print(f"cannot load bundle: {exc}", file=sys.stderr)
+                return 2
+            print(f"loaded {bundle.describe()}",
+                  file=sys.stderr if args.stream else sys.stdout)
+            service = build_service(bundle, serve_config,
+                                    cache_dir=args.cache_dir)
+        else:
+            from repro.eval.config import ExperimentConfig
+            from repro.eval.context import get_context
+
+            ctx = get_context(ExperimentConfig(
+                scale=args.scale, seed=args.seed, epochs=args.epochs,
+                dim=args.dim,
+            ))
+            service = build_service(ctx, serve_config,
+                                    cache_dir=args.cache_dir)
 
     paths = sorted(Path(args.directory).rglob(args.pattern))
     summary_out = sys.stderr if args.stream else sys.stdout
@@ -231,22 +296,43 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     try:
         if args.stream:
             # as-completed: the first finished file prints long before
-            # the last shard completes; stdout carries pure NDJSON
+            # the last shard completes; stdout carries pure NDJSON,
+            # closed by one {"event": "done", ...} summary record so
+            # consumers can tell a clean end from a dropped pipe
             results = []
-            for r in service.stream_paths(paths, ordered=False):
-                print(json.dumps({
+            stream = (
+                client.stream_paths(paths, bundle=args.bundle,
+                                    ordered=False, shards=args.shards)
+                if client is not None
+                else service.stream_paths(paths, ordered=False)
+            )
+            for r in stream:
+                _ndjson_record({
                     "file": r.name,
                     "error": r.error,
                     "suggestions": [s.to_dict() for s in r.suggestions],
-                }), flush=True)
+                })
                 results.append(r)
             by_name = {r.name: r for r in results}
             results = [by_name[str(p)] for p in paths]
+            _ndjson_record({
+                "event": "done",
+                "files": len(results),
+                "loops": sum(len(r.suggestions) for r in results),
+                "errors": sum(1 for r in results if r.error),
+                "elapsed_s": round(time.perf_counter() - start, 3),
+            })
+        elif client is not None:
+            results = client.suggest_paths(paths, bundle=args.bundle,
+                                           shards=args.shards)
         else:
             results = service.suggest_paths(paths)
     except ServeError as exc:
         print(f"serving failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if client is not None:
+            client.close()
     elapsed = time.perf_counter() - start
     if not results:
         print(f"no files matching {args.pattern!r} under {args.directory}",
@@ -270,7 +356,7 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     print(f"{n_loops} loops across {len(results)} files "
           f"({n_errors} unparseable) in {elapsed:.2f}s "
           f"({rate:.0f} loops/s)", file=summary_out)
-    if args.cache_dir:
+    if args.cache_dir and service is not None:
         stats = service.cache_stats()
         store, forwards = stats["store"], stats["forwards"]
         print(f"cache: {store['suggest_hits']} files warm, "
@@ -288,6 +374,161 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"suggestions written to {args.out}")
+    return 0
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the long-lived suggestion daemon: one warm "
+                    "service (shared store, loaded models) multiplexing "
+                    "many concurrent clients and corpora.",
+    )
+    net = parser.add_mutually_exclusive_group(required=True)
+    net.add_argument("--listen", metavar="HOST:PORT",
+                     help="bind a TCP address (PORT 0 = ephemeral)")
+    net.add_argument("--unix", metavar="SOCK",
+                     help="bind a unix stream socket at this path")
+    parser.add_argument("--bundle", action="append", default=[],
+                        metavar="[NAME=]PATH",
+                        help="serve a trained bundle (directory or "
+                             "archive) under NAME (default: derived "
+                             "from the path); repeatable — clients "
+                             "select by name, the first one is the "
+                             "default")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent suggestion store shared by "
+                             "every client (default: a fresh "
+                             "per-daemon temp dir, so concurrent "
+                             "clients still share warm results)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parse-stage worker processes per request")
+    parser.add_argument("--shards", type=_shards_arg, default=1,
+                        help="default end-to-end shard fan-out per "
+                             "request ('auto' picks from corpus size "
+                             "and CPUs; clients can override per "
+                             "request)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="graphs per forward pass")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="training-set scale for the on-the-fly "
+                             "models when no --bundle is given")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--allow-local-dir", action="append",
+                        default=[], metavar="DIR",
+                        help="let clients request suggestions for "
+                             "paths/dirs under DIR on the *server's* "
+                             "filesystem (repeatable; default: "
+                             "disabled — clients must send file "
+                             "contents inline)")
+    parser.add_argument("--ready-file", default=None,
+                        help="after binding, write the actual listen "
+                             "address to this file (scripts polling "
+                             "for readiness, ephemeral ports)")
+    args = parser.parse_args(argv)
+
+    from repro.serve import (
+        PROTOCOL_VERSION,
+        ServeConfig,
+        SuggestServer,
+        build_service,
+    )
+
+    serve_config = ServeConfig(workers=args.workers,
+                               batch_size=args.batch_size,
+                               shards=args.shards)
+    net_kwargs = {}
+    if args.unix:
+        net_kwargs["unix_path"] = args.unix
+    else:
+        host, sep, port = args.listen.rpartition(":")
+        if not sep or not port.isdigit():
+            print(f"--listen expects HOST:PORT, got {args.listen!r}",
+                  file=sys.stderr)
+            return 2
+        net_kwargs["host"] = host or "127.0.0.1"
+        net_kwargs["port"] = int(port)
+    if args.allow_local_dir:
+        net_kwargs["local_roots"] = tuple(args.allow_local_dir)
+
+    if args.bundle:
+        from repro.artifacts import ArtifactError, BundleRegistry
+
+        try:
+            registry = BundleRegistry.from_specs(args.bundle)
+        except (ArtifactError, ValueError) as exc:
+            print(f"cannot load bundles: {exc}", file=sys.stderr)
+            return 2
+    else:
+        registry = None
+
+    cache_dir = args.cache_dir
+    ephemeral_cache = None
+    if cache_dir is None:
+        import tempfile
+
+        # without a store the daemon cannot share warm results across
+        # clients — its whole reason to exist — so default to a
+        # process-lifetime temp store rather than no store (removed
+        # again on shutdown)
+        ephemeral_cache = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        cache_dir = ephemeral_cache
+        print(f"serve: using ephemeral cache {cache_dir} "
+              f"(pass --cache-dir to persist)", file=sys.stderr)
+
+    if registry is not None:
+        server = SuggestServer.from_registry(
+            registry, serve_config, cache_dir=cache_dir, **net_kwargs)
+        print(f"serve: loaded bundles {registry.names()} "
+              f"(default: {registry.default})", file=sys.stderr)
+    else:
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import get_context
+
+        ctx = get_context(ExperimentConfig(
+            scale=args.scale, seed=args.seed, epochs=args.epochs,
+            dim=args.dim,
+        ))
+        service = build_service(ctx, serve_config, cache_dir=cache_dir)
+        server = SuggestServer({"default": service}, **net_kwargs)
+        print("serve: trained on-the-fly models (bundle 'default')",
+              file=sys.stderr)
+
+    print(f"serve: listening on {server.address} "
+          f"(protocol v{PROTOCOL_VERSION})",
+          file=sys.stderr, flush=True)
+    if args.ready_file:
+        from pathlib import Path
+
+        Path(args.ready_file).write_text(server.address)
+
+    import signal
+
+    def _stop(signum, frame):
+        import threading
+
+        # shutdown() joins handler threads; never call it from the
+        # signal frame on the serving thread
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    except ValueError:
+        pass        # not on the main thread (embedded/test use)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        if ephemeral_cache is not None:
+            import shutil
+
+            shutil.rmtree(ephemeral_cache, ignore_errors=True)
+    print("serve: drained and stopped", file=sys.stderr)
     return 0
 
 
@@ -337,7 +578,12 @@ def cache_main(argv: list[str] | None = None) -> int:
                     help="keep at most this many bytes of entries "
                          "(least-recently-written evicted first)")
     gc.add_argument("--max-age-days", type=float, default=None,
-                    help="drop entries older than this many days")
+                    help="drop entries older than this many days "
+                         "(applied before --max-bytes)")
+    gc.add_argument("--json", action="store_true",
+                    help="emit the structured gc report (totals + "
+                         "files/bytes pruned per layer) as one JSON "
+                         "object")
     stats = sub.add_parser(
         "stats",
         help="inspect a cache directory (entry counts/bytes per layer) "
@@ -384,9 +630,19 @@ def cache_main(argv: list[str] | None = None) -> int:
     result = SuggestionStore(args.cache_dir).gc(
         max_bytes=args.max_bytes, max_age_days=args.max_age_days,
     )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
     print(f"cache gc: removed {result['removed_files']} entries "
           f"({result['removed_bytes']} bytes), kept "
           f"{result['kept_files']} ({result['kept_bytes']} bytes)")
+    for layer in ("parse", "suggest", "other"):
+        counters = result["layers"][layer]
+        if any(counters.values()):
+            print(f"  {layer}: removed {counters['removed_files']} "
+                  f"({counters['removed_bytes']} bytes), kept "
+                  f"{counters['kept_files']} "
+                  f"({counters['kept_bytes']} bytes)")
     return 0
 
 
@@ -395,6 +651,7 @@ _COMMANDS = {
     "train": train_main,
     "eval": eval_main,
     "suggest-dir": suggest_dir_main,
+    "serve": serve_main,
     "bundle": bundle_main,
     "cache": cache_main,
 }

@@ -1,0 +1,336 @@
+"""Client library for the suggestion daemon (``repro serve``).
+
+:func:`connect` opens one connection, performs the
+:mod:`repro.serve.protocol` handshake, and returns a :class:`Client`
+whose surface mirrors the in-process
+:class:`~repro.serve.pipeline.SuggestionService` —
+``stream_sources`` / ``stream_paths`` / ``stream_dir`` yield
+:class:`~repro.serve.pipeline.FileSuggestions` as the server finishes
+them, ``suggest_*`` collect.  File contents are read locally and sent
+inline, so the server needs no access to the client's filesystem, and
+replies revive through the exact payload shapes the in-process path
+produces — the suggestions are byte-identical to running the pipeline
+locally.
+
+Addresses: ``"host:port"`` (TCP) or ``"unix:/path/to.sock"``; a bare
+path to an existing socket file also works.
+
+One request is in flight per connection at a time (the protocol has
+no request ids); open several clients for concurrency — the daemon
+multiplexes them over one warm store.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.serve import protocol
+from repro.serve.pipeline import FileSuggestions
+from repro.serve.stream import ServeError
+
+#: default seconds without a frame before a request is abandoned; the
+#: pipeline streams store-cached files immediately, but a cold corpus
+#: may train/load models before the first frame lands
+DEFAULT_TIMEOUT_S = 600.0
+
+
+class ClientError(ServeError):
+    """The server refused or failed a request, or the link broke."""
+
+    def __init__(self, message: str, code: str = "client-error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _open_socket(address: str, timeout: float) -> socket.socket:
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+    elif ":" not in address and Path(address).exists():
+        path = address
+    else:
+        path = None
+    if path is not None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return sock
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ClientError(
+            f"cannot parse server address {address!r}; expected "
+            f"HOST:PORT or unix:/path.sock", code="bad-address")
+    sock = socket.create_connection((host or "127.0.0.1", int(port)),
+                                    timeout=timeout)
+    # small frames both ways: Nagle + delayed ACK would put ~40ms on
+    # every warm round trip
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def connect(address: str, *, timeout: float = DEFAULT_TIMEOUT_S,
+            client_id: str = "repro.client") -> "Client":
+    """Open a connection and perform the protocol handshake."""
+    sock = _open_socket(address, timeout)
+    try:
+        return Client(sock, address=address, timeout=timeout,
+                      client_id=client_id)
+    except BaseException:
+        sock.close()
+        raise
+
+
+class Client:
+    """One handshaken connection to a suggestion daemon."""
+
+    def __init__(self, sock: socket.socket, *, address: str = "",
+                 timeout: float = DEFAULT_TIMEOUT_S,
+                 client_id: str = "repro.client") -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        self._closed = False
+        #: a request was written whose reply has not been read to its
+        #: terminating frame (an abandoned streaming generator)
+        self._pending = False
+        self.address = address
+        self.timeout = timeout
+        #: the server's Done frame of the most recent request — its
+        #: serving-side ``cache_stats()`` snapshot for observability
+        self.last_done: protocol.Done | None = None
+        self.capabilities = self._handshake(client_id)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write(self, message) -> None:
+        try:
+            protocol.write_message(self._wfile, message)
+        except protocol.ProtocolError as exc:
+            raise ClientError(str(exc), code=exc.code) from exc
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ClientError(f"server connection lost: {exc}",
+                              code="connection-lost") from exc
+
+    def _read_raw(self):
+        try:
+            message = protocol.read_message(self._rfile)
+        except protocol.ProtocolError as exc:
+            raise ClientError(str(exc), code=exc.code) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise ClientError(
+                f"no frame from {self.address or 'server'} within "
+                f"{self.timeout}s", code="timeout") from exc
+        except (ConnectionResetError, OSError) as exc:
+            raise ClientError(f"server connection lost: {exc}",
+                              code="connection-lost") from exc
+        if message is None:
+            raise ClientError("server closed the connection mid-reply",
+                              code="connection-lost")
+        return message
+
+    def _read(self):
+        message = self._read_raw()
+        if isinstance(message, protocol.Error):
+            # an error frame terminates the current reply: the
+            # connection stays usable for the next request
+            self._pending = False
+            raise ClientError(message.message, code=message.code)
+        return message
+
+    def _handshake(self, client_id: str) -> dict:
+        self._write(protocol.Hello(client=client_id))
+        reply = self._read()
+        if not isinstance(reply, protocol.HelloOk):
+            raise ClientError(
+                f"expected hello_ok, got {reply.KIND!r}",
+                code="bad-handshake")
+        if reply.protocol != protocol.PROTOCOL_VERSION:
+            raise ClientError(
+                f"server speaks protocol {reply.protocol}, this client "
+                f"speaks {protocol.PROTOCOL_VERSION}",
+                code="protocol-mismatch")
+        return dict(reply.capabilities)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            protocol.write_message(self._wfile, protocol.Goodbye())
+        except (BrokenPipeError, ConnectionResetError, OSError,
+                protocol.ProtocolError):
+            pass
+        for closer in (self._rfile, self._wfile, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the serving surface -------------------------------------------------
+
+    def bundles(self) -> list[str]:
+        """Bundle names the server advertises."""
+        return list(self.capabilities.get("bundles", []))
+
+    def _drain_pending(self) -> None:
+        """Consume the rest of an abandoned reply.
+
+        A caller that drops a streaming generator mid-iteration leaves
+        the previous reply's frames on the wire; without draining them
+        to the terminating ``done``/``error`` frame, the *next* request
+        would silently read the old request's files as its own
+        results.
+        """
+        while self._pending:
+            message = self._read_raw()
+            if isinstance(message, (protocol.Done, protocol.Error)):
+                # a stale request-level error belongs to the
+                # abandoned reply — note the boundary, don't raise
+                self._pending = False
+            elif not isinstance(message, protocol.FileResult):
+                raise ClientError(
+                    f"unexpected {message.KIND!r} frame while "
+                    f"draining an abandoned reply", code="bad-reply")
+
+    def _request(self, request: protocol.SuggestRequest) -> None:
+        self._drain_pending()
+        self._write(request)
+        self._pending = True
+
+    def _stream(self, request: protocol.SuggestRequest,
+                ) -> Iterator[FileSuggestions]:
+        self._request(request)
+        while True:
+            message = self._read()
+            if isinstance(message, protocol.Done):
+                self.last_done = message
+                self._pending = False
+                return
+            if not isinstance(message, protocol.FileResult):
+                raise ClientError(
+                    f"unexpected {message.KIND!r} frame inside a "
+                    f"streaming reply", code="bad-reply")
+            yield FileSuggestions.from_payload(message.name,
+                                               message.payload)
+
+    def _batch(self, request: protocol.SuggestRequest,
+               ) -> list[FileSuggestions]:
+        self._request(request)
+        message = self._read()
+        if not isinstance(message, protocol.BatchResult):
+            raise ClientError(
+                f"expected a batch frame, got {message.KIND!r}",
+                code="bad-reply")
+        done = self._read()
+        if not isinstance(done, protocol.Done):
+            raise ClientError(
+                f"expected done after the batch, got {done.KIND!r}",
+                code="bad-reply")
+        self.last_done = done
+        self._pending = False
+        ordered = sorted(message.files, key=lambda f: f.index)
+        return [FileSuggestions.from_payload(f.name, f.payload)
+                for f in ordered]
+
+    def stream_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        bundle: str | None = None, ordered: bool = True,
+        shards: int | str | None = None,
+    ) -> Iterator[FileSuggestions]:
+        """Stream suggestions for ``(name, source)`` pairs.
+
+        Mirrors :meth:`SuggestionService.stream_sources`; the server
+        does the work over its warm store and streams files back as
+        they finish.  Raises :class:`ClientError` if the stream ends
+        without the server's ``done`` frame.
+        """
+        named = tuple((str(name), source)
+                      for name, source in named_sources)
+        return self._stream(protocol.SuggestRequest(
+            sources=named, bundle=bundle, ordered=ordered,
+            stream=True, shards=shards))
+
+    def suggest_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        bundle: str | None = None, shards: int | str | None = None,
+    ) -> list[FileSuggestions]:
+        """Batch reply in input order (one frame, then done)."""
+        named = tuple((str(name), source)
+                      for name, source in named_sources)
+        return self._batch(protocol.SuggestRequest(
+            sources=named, bundle=bundle, ordered=True,
+            stream=False, shards=shards))
+
+    # -- path/dir conveniences (local reads, mirroring the service) ----------
+
+    def stream_paths(self, paths, *, bundle: str | None = None,
+                     ordered: bool = True,
+                     shards: int | str | None = None,
+                     ) -> Iterator[FileSuggestions]:
+        named = [(str(p), Path(p).read_text(encoding="utf-8"))
+                 for p in paths]
+        return self.stream_sources(named, bundle=bundle,
+                                   ordered=ordered, shards=shards)
+
+    def stream_dir(self, directory, pattern: str = "*.c", *,
+                   bundle: str | None = None, ordered: bool = True,
+                   shards: int | str | None = None,
+                   ) -> Iterator[FileSuggestions]:
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.stream_paths(paths, bundle=bundle, ordered=ordered,
+                                 shards=shards)
+
+    def suggest_paths(self, paths, *, bundle: str | None = None,
+                      shards: int | str | None = None,
+                      ) -> list[FileSuggestions]:
+        named = [(str(p), Path(p).read_text(encoding="utf-8"))
+                 for p in paths]
+        return self.suggest_sources(named, bundle=bundle, shards=shards)
+
+    def suggest_dir(self, directory, pattern: str = "*.c", *,
+                    bundle: str | None = None,
+                    shards: int | str | None = None,
+                    ) -> list[FileSuggestions]:
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.suggest_paths(paths, bundle=bundle, shards=shards)
+
+    # -- server-side paths (daemon colocated with the corpus) ----------------
+
+    def stream_server_dir(self, directory, pattern: str = "*.c", *,
+                          bundle: str | None = None,
+                          ordered: bool = True,
+                          shards: int | str | None = None,
+                          ) -> Iterator[FileSuggestions]:
+        """Stream over a directory on the *server's* filesystem.
+
+        No file contents travel client → server; the daemon reads and
+        serves its local corpus (refusing with ``bad-request`` if the
+        directory or a file is unreadable there).
+        """
+        return self._stream(protocol.SuggestRequest(
+            dir=str(directory), pattern=pattern, bundle=bundle,
+            ordered=ordered, stream=True, shards=shards))
+
+    def suggest_server_dir(self, directory, pattern: str = "*.c", *,
+                           bundle: str | None = None,
+                           shards: int | str | None = None,
+                           ) -> list[FileSuggestions]:
+        return self._batch(protocol.SuggestRequest(
+            dir=str(directory), pattern=pattern, bundle=bundle,
+            ordered=True, stream=False, shards=shards))
+
+    def suggest_server_paths(self, paths, *,
+                             bundle: str | None = None,
+                             shards: int | str | None = None,
+                             ) -> list[FileSuggestions]:
+        """Batch over files named by *server-side* paths."""
+        return self._batch(protocol.SuggestRequest(
+            paths=tuple(str(p) for p in paths), bundle=bundle,
+            ordered=True, stream=False, shards=shards))

@@ -12,6 +12,14 @@ results and finished suggestions across processes, keyed by file
 content hash and model fingerprint, so warm runs over unchanged files
 skip both the frontend and every model forward — and every shard
 worker consults and commits the same store.
+
+The same pipeline is addressable over the network:
+:mod:`~repro.serve.protocol` defines the versioned, schema-checked
+wire frames (length-prefixed JSON), :class:`SuggestServer`
+(``repro serve --listen``) is the long-lived daemon multiplexing many
+concurrent clients and corpora over one warm service, and
+:mod:`repro.client` is the matching client library — remote results
+are byte-identical to the in-process path.
 """
 
 from repro.serve.parse import ParsedFile, parse_many, parse_one
@@ -22,17 +30,23 @@ from repro.serve.pipeline import (
     build_service,
 )
 from repro.serve.plan import Shard, auto_shards, plan_shards, resolve_shards
+from repro.serve.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import SuggestServer
 from repro.serve.store import STORE_VERSION, SuggestionStore, content_key
 from repro.serve.stream import ServeError, merge_results, stream_shards
 from repro.serve.worker import WorkerSpec
 
 __all__ = [
     "FileSuggestions",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "ParsedFile",
+    "ProtocolError",
     "STORE_VERSION",
     "ServeConfig",
     "ServeError",
     "Shard",
+    "SuggestServer",
     "SuggestionService",
     "SuggestionStore",
     "WorkerSpec",

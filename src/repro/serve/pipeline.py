@@ -302,9 +302,34 @@ class SuggestionService:
                                       fs.to_payload())
             yield i, fs
 
+    def stream_tagged(
+        self, named_sources: list[tuple[str, str]], *,
+        shards: int | str | None = None,
+    ) -> Iterator[tuple[int, FileSuggestions]]:
+        """``(input_index, FileSuggestions)`` pairs in completion order.
+
+        The index-tagged core under :meth:`stream_sources`, exposed for
+        consumers that need to know *which* input each result answers
+        while still observing completion order — the network server
+        forwards these tags to its clients verbatim.  ``shards``
+        follows the same rules as :meth:`stream_sources`.
+        """
+        from repro.serve.plan import resolve_shards
+        from repro.serve.stream import stream_shards
+
+        named = list(named_sources)
+        n_shards = resolve_shards(
+            self.config.shards if shards is None else shards, named)
+        if n_shards > 1 and len(named) > 1:
+            return stream_shards(
+                self._worker_spec(), named, n_shards,
+                on_stats=self._absorb_worker_stats,
+            )
+        return self.iter_sources(named)
+
     def stream_sources(
         self, named_sources: list[tuple[str, str]], *,
-        ordered: bool = True, shards: int | None = None,
+        ordered: bool = True, shards: int | str | None = None,
     ) -> Iterator[FileSuggestions]:
         """Stream suggestions for many ``(name, source)`` pairs.
 
@@ -321,20 +346,11 @@ class SuggestionService:
         first-result latency.  Suggestions are byte-identical across
         shard counts and orderings.
         """
-        from repro.serve.plan import resolve_shards
-        from repro.serve.stream import merge_results, stream_shards
+        from repro.serve.stream import merge_results
 
-        named = list(named_sources)
-        n_shards = resolve_shards(
-            self.config.shards if shards is None else shards, named)
-        if n_shards > 1 and len(named) > 1:
-            results = stream_shards(
-                self._worker_spec(), named, n_shards,
-                on_stats=self._absorb_worker_stats,
-            )
-        else:
-            results = self.iter_sources(named)
-        return merge_results(results, ordered=ordered)
+        return merge_results(self.stream_tagged(named_sources,
+                                                shards=shards),
+                             ordered=ordered)
 
     def stream_paths(self, paths, *, ordered: bool = True,
                      shards: int | None = None,

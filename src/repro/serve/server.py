@@ -1,0 +1,518 @@
+"""The long-lived suggestion daemon (``repro serve --listen``).
+
+One process, one (or several, name-addressed) warm
+:class:`~repro.serve.pipeline.SuggestionService`, many concurrent
+clients: the server binds a TCP port or unix socket, performs the
+:mod:`~repro.serve.protocol` handshake per connection, and serves
+suggest requests over the shared services — so every client benefits
+from the same warm :class:`~repro.serve.store.SuggestionStore`, the
+same loaded models, and the same encode caches, instead of each
+invocation paying model load + parse + forward from scratch.
+
+Concurrency model: one thread per connection (the pipeline is
+CPU-bound pure python, so threads are for *multiplexing*, not
+speedup — per-request ``shards`` fan-out supplies the parallelism).
+Each named service owns a lock serializing its compute; a request
+that overlaps files another client just computed therefore hits the
+warm store and performs zero parses and zero forwards.  Results
+stream to the requesting client as the pipeline yields them.
+
+Lifecycle: :meth:`SuggestServer.start` binds and serves on a
+background thread (tests, embedding); :meth:`serve_forever` serves on
+the calling thread (the CLI).  :meth:`shutdown` drains — new requests
+are refused with a ``shutting-down`` error frame, in-flight replies
+run to completion, idle connections close at the next poll tick —
+then the listener closes.  A client that vanishes mid-stream only
+loses its own connection; the pipeline generator is closed so shard
+workers are reaped, and every other client keeps streaming.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+import traceback
+from pathlib import Path
+
+from repro.serve import protocol
+from repro.serve.pipeline import ServeConfig, SuggestionService
+from repro.serve.stream import merge_results
+
+#: seconds between idle-connection polls (drain responsiveness)
+_IDLE_POLL_S = 0.5
+#: seconds a reply write may stall on client backpressure before the
+#: client is considered gone
+_WRITE_TIMEOUT_S = 30.0
+#: total seconds of write stall one streaming request may accumulate
+#: while holding its bundle's compute lock — a drip-feeding client
+#: must not block every other client of the bundle forever
+_REQUEST_WRITE_BUDGET_S = 120.0
+
+
+class _FrameReader:
+    """Frame assembly that survives idle-poll timeouts.
+
+    The per-connection socket carries a short timeout so the drain
+    loop stays live, but a timeout mid-frame must not corrupt the byte
+    stream: a buffered ``makefile`` reader discards partial reads on
+    timeout, turning a slow (not dead) client into a framing error.
+    This reader accumulates into its own buffer instead — a
+    ``socket.timeout`` propagates to the caller, the partial frame
+    stays buffered, and the next call resumes exactly where it
+    stopped.
+    """
+
+    def __init__(self, sock, max_bytes: int) -> None:
+        self._sock = sock
+        self._max = max_bytes
+        self._buf = bytearray()
+        self._eof = False
+
+    def _fill(self, n: int) -> None:
+        """Grow the buffer to ``n`` bytes, or record EOF; a stalled
+        peer raises ``socket.timeout`` with the buffer intact."""
+        while len(self._buf) < n and not self._eof:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self._eof = True
+                return
+            self._buf.extend(chunk)
+
+    def read_message(self):
+        """One decoded message; ``None`` on clean EOF at a frame
+        boundary; :class:`~repro.serve.protocol.ProtocolError` on a
+        violation; ``socket.timeout`` while a frame is incomplete."""
+        header_size = protocol.HEADER_SIZE
+        self._fill(header_size)
+        if len(self._buf) < header_size:
+            if not self._buf:
+                return None
+            raise protocol.ProtocolError(
+                "bad-frame", "connection closed mid-frame")
+        length = protocol.parse_frame_length(
+            bytes(self._buf[:header_size]), self._max)
+        self._fill(header_size + length)
+        if len(self._buf) < header_size + length:
+            raise protocol.ProtocolError(
+                "bad-frame",
+                "connection closed between header and body")
+        body = bytes(self._buf[header_size:header_size + length])
+        del self._buf[:header_size + length]
+        return protocol.decode_message(protocol.decode_frame_body(body))
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = False       # server_close() waits for handlers
+    block_on_close = True
+    owner: "SuggestServer"
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = False
+        block_on_close = True
+        owner: "SuggestServer"
+else:                      # platforms without AF_UNIX (Windows)
+    _ThreadingUnixServer = None
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        # Bounded reads keep the drain loop live: an idle connection
+        # wakes every poll tick to check whether the server is closing.
+        self.request.settimeout(_IDLE_POLL_S)
+        if self.request.family != getattr(socket, "AF_UNIX", None):
+            # small request/reply frames + Nagle + delayed ACK would
+            # add ~40ms to every warm round trip
+            self.request.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+        super().setup()
+
+    def handle(self) -> None:
+        self.server.owner._handle_connection(self.request, self.wfile)
+
+
+class SuggestServer:
+    """A network front over warm, name-addressed suggestion services.
+
+    ``services`` maps bundle names to built
+    :class:`SuggestionService` instances; ``default`` names the one a
+    request without a ``bundle`` field is served from (defaults to the
+    first entry).  Exactly one of ``host``/``port`` (TCP; ``port=0``
+    binds an ephemeral port) or ``unix_path`` selects the transport.
+    """
+
+    def __init__(self, services: dict[str, SuggestionService], *,
+                 default: str | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_path: str | Path | None = None,
+                 local_roots: tuple | list | None = None,
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+                 server_id: str = "repro.serve") -> None:
+        if not services:
+            raise ValueError("a SuggestServer needs at least one service")
+        self.services = dict(services)
+        #: directories the server may read for ``paths``/``dir``
+        #: requests; ``None`` (the default) disables server-side reads
+        #: entirely — an open TCP daemon must not be a file-read
+        #: oracle over its whole filesystem
+        self.local_roots = (None if local_roots is None else
+                            tuple(Path(r).resolve() for r in local_roots))
+        self.default = default if default is not None \
+            else next(iter(self.services))
+        if self.default not in self.services:
+            raise ValueError(f"default bundle {self.default!r} is not "
+                             f"among {sorted(self.services)}")
+        self.max_frame_bytes = max_frame_bytes
+        self.server_id = server_id
+        self._locks = {name: threading.Lock() for name in self.services}
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self.unix_path = None if unix_path is None else str(unix_path)
+        if self.unix_path is not None:
+            if _ThreadingUnixServer is None:
+                raise ValueError(
+                    "unix sockets are not supported on this platform; "
+                    "use host/port")
+            self._reclaim_stale_socket(self.unix_path)
+            self._server = _ThreadingUnixServer(self.unix_path, _Handler)
+        else:
+            self._server = _ThreadingTCPServer((host, port), _Handler)
+        self._server.owner = self
+
+    @staticmethod
+    def _reclaim_stale_socket(path: str) -> None:
+        """Unlink a leftover socket file from a crashed daemon.
+
+        A SIGKILLed server leaves its socket file behind and the next
+        bind fails with EADDRINUSE.  Probe it first: a live listener
+        accepts the connection and keeps its socket; only a dead one
+        (connection refused) is reclaimed.
+        """
+        if not Path(path).is_socket():
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(path)
+        except (ConnectionRefusedError, socket.timeout, TimeoutError):
+            try:
+                Path(path).unlink()
+            except OSError:
+                pass
+        except OSError:
+            pass        # unreadable/odd socket: let bind report it
+        else:
+            raise OSError(
+                f"a server is already listening on {path}")
+        finally:
+            probe.close()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The bound address: ``host:port`` or the unix socket path."""
+        if self.unix_path is not None:
+            return self.unix_path
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._server.serve_forever(poll_interval=_IDLE_POLL_S)
+
+    def start(self) -> "SuggestServer":
+        """Serve on a background thread; returns once accepting."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-serve-accept",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Drain and stop: refuse new requests, finish in-flight
+        replies, close the listener.
+
+        Safe to call from any thread (except the one running
+        :meth:`serve_forever`) and from several at once: the first
+        caller performs the drain, every other caller blocks until it
+        has finished — so a signal handler's shutdown and a main
+        loop's ``finally`` cannot race the process exit past a
+        half-drained server.
+        """
+        with self._shutdown_lock:
+            first = not self._draining.is_set()
+            if first:
+                self._draining.set()
+        if not first:
+            self._stopped.wait(timeout=60.0)
+            return
+        self._server.shutdown()          # stop accepting
+        self._server.server_close()      # waits for handler threads
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        if self.unix_path is not None:
+            try:
+                Path(self.unix_path).unlink()
+            except OSError:
+                pass
+        self._stopped.set()
+
+    def __enter__(self) -> "SuggestServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_registry(cls, registry, config: ServeConfig | None = None,
+                      cache_dir: str | Path | None = None,
+                      **net) -> "SuggestServer":
+        """One warm service per registered bundle, sharing one store."""
+        from repro.serve.pipeline import build_service
+
+        services = {
+            name: build_service(registry.get(name), config,
+                                cache_dir=cache_dir)
+            for name in registry.names()
+        }
+        return cls(services, default=registry.default, **net)
+
+    # -- capabilities --------------------------------------------------------
+
+    def capabilities(self) -> dict:
+        return {
+            "bundles": sorted(self.services),
+            "default_bundle": self.default,
+            "clauses": {
+                name: sorted(service.suggester.clause_models)
+                for name, service in self.services.items()
+            },
+            "model_keys": {
+                name: service._model_key
+                for name, service in self.services.items()
+            },
+            "max_frame_bytes": self.max_frame_bytes,
+            "streaming": True,
+            "server_side_paths": self.local_roots is not None,
+        }
+
+    # -- connection protocol -------------------------------------------------
+
+    def _send(self, sock, wfile, message) -> bool:
+        """Write one frame; ``False`` when the client is gone.
+
+        Writes get their own, much longer timeout: the 0.5s idle poll
+        is drain bookkeeping, not a verdict on a client that applies a
+        second of TCP backpressure.  A client still stalled after
+        ``_WRITE_TIMEOUT_S`` is treated as gone.
+        """
+        try:
+            sock.settimeout(_WRITE_TIMEOUT_S)
+            try:
+                protocol.write_message(wfile, message,
+                                       self.max_frame_bytes)
+            finally:
+                sock.settimeout(_IDLE_POLL_S)
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+    def _read(self, reader: _FrameReader):
+        """Read one message, riding out idle-poll timeouts.
+
+        Returns the message, ``None`` on clean EOF, or raises
+        :class:`~repro.serve.protocol.ProtocolError`.  The reader
+        buffers partial frames across timeouts, so a slow sender is
+        waited on, never misread.  During a drain, the connection
+        closes at the next poll tick instead of waiting for its next
+        request.
+        """
+        while True:
+            try:
+                return reader.read_message()
+            except (socket.timeout, TimeoutError):
+                if self._draining.is_set():
+                    return None
+            except (ConnectionResetError, BrokenPipeError):
+                return None
+
+    def _handle_connection(self, sock, wfile) -> None:
+        reader = _FrameReader(sock, self.max_frame_bytes)
+        # handshake: Hello in, HelloOk (or a refusal) out
+        try:
+            hello = self._read(reader)
+        except protocol.ProtocolError as exc:
+            self._send(sock, wfile, protocol.Error(code=exc.code,
+                                                   message=str(exc)))
+            return
+        if hello is None:
+            return
+        if not isinstance(hello, protocol.Hello):
+            self._send(sock, wfile, protocol.Error(
+                code="bad-request",
+                message=f"expected a hello frame first, "
+                        f"got {hello.KIND!r}"))
+            return
+        if hello.protocol != protocol.PROTOCOL_VERSION:
+            self._send(sock, wfile, protocol.Error(
+                code="protocol-mismatch",
+                message=f"server speaks protocol "
+                        f"{protocol.PROTOCOL_VERSION}, client asked "
+                        f"for {hello.protocol}"))
+            return
+        if not self._send(sock, wfile, protocol.HelloOk(
+                server=self.server_id,
+                capabilities=self.capabilities())):
+            return
+
+        while True:
+            try:
+                message = self._read(reader)
+            except protocol.ProtocolError as exc:
+                # framing/schema violations poison the byte stream:
+                # report and close rather than guess at resync
+                self._send(sock, wfile, protocol.Error(code=exc.code,
+                                                 message=str(exc)))
+                return
+            if message is None or isinstance(message, protocol.Goodbye):
+                return
+            if not isinstance(message, protocol.SuggestRequest):
+                self._send(sock, wfile, protocol.Error(
+                    code="bad-request",
+                    message=f"cannot handle {message.KIND!r} frames "
+                            f"here"))
+                return
+            if not self._serve_request(message, sock, wfile):
+                return
+
+    def _check_local(self, path: Path) -> None:
+        """Refuse server-side reads outside the allowed roots."""
+        if self.local_roots is None:
+            raise protocol.ProtocolError(
+                "bad-request",
+                "server-side paths are disabled on this daemon; send "
+                "sources inline, or start it with --allow-local-dir")
+        resolved = path.resolve()
+        if not any(resolved.is_relative_to(root)
+                   for root in self.local_roots):
+            raise protocol.ProtocolError(
+                "bad-request",
+                f"server-side path {path} is outside the allowed "
+                f"corpus roots")
+
+    def _resolve_workload(self, request: protocol.SuggestRequest,
+                          ) -> list[tuple[str, str]]:
+        """The request's ``(name, source)`` workload, reading
+        server-side paths/dirs when the request names them (and the
+        daemon opted in via ``local_roots``)."""
+        if request.dir is not None:
+            root = Path(request.dir)
+            self._check_local(root)
+            if not root.is_dir():
+                raise protocol.ProtocolError(
+                    "bad-request",
+                    f"server has no directory {request.dir!r}")
+            paths = sorted(root.rglob(request.pattern))
+        elif request.paths:
+            paths = [Path(p) for p in request.paths]
+        else:
+            return list(request.sources)
+        named = []
+        for path in paths:
+            self._check_local(path)
+            try:
+                named.append((str(path),
+                              path.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError) as exc:
+                raise protocol.ProtocolError(
+                    "bad-request",
+                    f"server cannot read {path}: {exc}") from exc
+        return named
+
+    def _serve_request(self, request: protocol.SuggestRequest,
+                       sock, wfile) -> bool:
+        """Answer one suggest request; ``False`` closes the connection
+        (client vanished), request-level errors keep it open.
+
+        Streaming replies interleave sends with compute under the
+        bundle's lock — that is what delivers the first file before
+        the last one computes, at the cost of head-of-line blocking
+        behind a slow reader.  That blocking is bounded twice: per
+        frame by ``_WRITE_TIMEOUT_S``, and per request by
+        ``_REQUEST_WRITE_BUDGET_S`` of accumulated send stall, after
+        which the drip-feeding client is dropped like a dead one.
+        Batch replies release the lock before any reply bytes move.
+        """
+        if self._draining.is_set():
+            return self._send(sock, wfile, protocol.Error(
+                code="shutting-down",
+                message="server is draining; retry elsewhere"))
+        name = request.bundle if request.bundle is not None else self.default
+        service = self.services.get(name)
+        if service is None:
+            return self._send(sock, wfile, protocol.Error(
+                code="unknown-bundle",
+                message=f"unknown bundle {name!r}; "
+                        f"serving: {sorted(self.services)}"))
+        try:
+            named = self._resolve_workload(request)
+        except protocol.ProtocolError as exc:
+            return self._send(sock, wfile, protocol.Error(code=exc.code,
+                                                    message=str(exc)))
+        files = errors = 0
+        batch: list[protocol.FileResult] = []
+        write_budget = _REQUEST_WRITE_BUDGET_S
+        with self._locks[name]:
+            raw = service.stream_tagged(named, shards=request.shards)
+            tagged = raw
+            if request.ordered or not request.stream:
+                tagged = enumerate(merge_results(raw, ordered=True))
+            try:
+                for index, fs in tagged:
+                    files += 1
+                    errors += fs.error is not None
+                    frame = protocol.FileResult(
+                        index=index, name=fs.name,
+                        payload=fs.to_payload())
+                    if not request.stream:
+                        batch.append(frame)
+                    else:
+                        sent_at = time.perf_counter()
+                        ok = self._send(sock, wfile, frame)
+                        write_budget -= time.perf_counter() - sent_at
+                        if not ok or write_budget <= 0:
+                            return False   # gone, or drip-feeding
+            except Exception:
+                return self._send(sock, wfile, protocol.Error(
+                    code="serve-error",
+                    message=traceback.format_exc()))
+            finally:
+                close = getattr(raw, "close", None)
+                if close is not None:   # reap shard workers on abort
+                    close()
+        if not request.stream:
+            try:
+                sent = self._send(sock, wfile,
+                                  protocol.BatchResult(
+                                      files=tuple(batch)))
+            except protocol.ProtocolError as exc:
+                # the whole reply exceeds one frame; nothing has hit
+                # the wire (encode precedes write), so a clean error
+                # frame can still follow
+                return self._send(sock, wfile, protocol.Error(
+                    code="serve-error",
+                    message=f"batch reply too large for one frame "
+                            f"({exc}); request stream=True instead"))
+            if not sent:
+                return False
+        return self._send(sock, wfile, protocol.Done(
+            files=files, errors=errors, stats=service.cache_stats()))

@@ -112,23 +112,37 @@ class SuggestionStore:
 
     # -- eviction ------------------------------------------------------------
 
+    def _layer_of(self, path: Path) -> str:
+        """Which cache layer a stored entry belongs to."""
+        if path.parent.name == "parse":
+            return "parse"
+        if path.parent.parent.name == "suggest":
+            return "suggest"
+        return "other"
+
     def gc(self, max_bytes: int | None = None,
            max_age_days: float | None = None,
            now: float | None = None) -> dict:
         """Prune the on-disk cache; without it the store only grows.
 
-        ``max_age_days`` first drops entries whose mtime is older than
-        the cutoff; ``max_bytes`` then evicts least-recently-written
-        entries (LRU by mtime — every hit replays a file some run
-        recently wrote) until the surviving entries fit the budget.
-        Both layers (parses and per-model suggestions) are pruned
-        together, and *every* versioned subtree under the base root is
-        scanned, so entries written by older ``STORE_VERSION`` builds
-        are reclaimable too.  Entries that vanish mid-scan (a
-        concurrent gc or server) are skipped, not errors.
+        The two limits apply in a fixed, deterministic order:
+        ``max_age_days`` *first* drops every entry whose mtime is older
+        than the cutoff, then ``max_bytes`` evicts
+        least-recently-written survivors (LRU by mtime — every hit
+        replays a file some run recently wrote) until what remains
+        fits the budget; mtime ties break on path, so the same cache
+        state always prunes the same files.  Both layers (parses and
+        per-model suggestions) are pruned together, and *every*
+        versioned subtree under the base root is scanned, so entries
+        written by older ``STORE_VERSION`` builds are reclaimable too.
+        Entries that vanish mid-scan (a concurrent gc or server) are
+        skipped, not errors.
 
-        Returns ``{"removed_files", "removed_bytes", "kept_files",
-        "kept_bytes"}``.
+        Returns a structured report: ``removed_files`` /
+        ``removed_bytes`` / ``kept_files`` / ``kept_bytes`` totals,
+        plus the same four counters per layer under ``layers`` (keys
+        ``parse``, ``suggest``, and ``other`` for entries no current
+        layout owns).
         """
         if now is None:
             now = time.time()
@@ -141,7 +155,8 @@ class SuggestionStore:
                     continue
                 entries.append((stat.st_mtime, stat.st_size, path))
 
-        keep = sorted(entries, reverse=True)     # newest first
+        # newest first; mtime ties break on path for determinism
+        keep = sorted(entries, key=lambda e: (-e[0], str(e[2])))
         evicted: list[tuple[float, int, Path]] = []
         if max_age_days is not None:
             cutoff = now - max_age_days * 86400.0
@@ -162,20 +177,30 @@ class SuggestionStore:
             evicted.extend(keep[cutoff:])
             keep = keep[:cutoff]
 
-        removed_files = removed_bytes = 0
+        layers = {
+            layer: {"removed_files": 0, "removed_bytes": 0,
+                    "kept_files": 0, "kept_bytes": 0}
+            for layer in ("parse", "suggest", "other")
+        }
         for _, size, path in evicted:
             try:
                 path.unlink()
             except OSError:
                 continue
-            removed_files += 1
-            removed_bytes += size
-        return {
-            "removed_files": removed_files,
-            "removed_bytes": removed_bytes,
-            "kept_files": len(keep),
-            "kept_bytes": sum(size for _, size, _ in keep),
+            layer = layers[self._layer_of(path)]
+            layer["removed_files"] += 1
+            layer["removed_bytes"] += size
+        for _, size, path in keep:
+            layer = layers[self._layer_of(path)]
+            layer["kept_files"] += 1
+            layer["kept_bytes"] += size
+        report = {
+            counter: sum(layer[counter] for layer in layers.values())
+            for counter in ("removed_files", "removed_bytes",
+                            "kept_files", "kept_bytes")
         }
+        report["layers"] = layers
+        return report
 
     # -- introspection -------------------------------------------------------
 

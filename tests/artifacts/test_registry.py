@@ -1,0 +1,103 @@
+"""Tests for the named bundle registry behind ``repro serve``."""
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactError,
+    BundleRegistry,
+    SuggesterBundle,
+    bundle_name_from_path,
+    parse_bundle_spec,
+)
+from repro.cfront import parse_loop
+from repro.eval.context import TrainedGraphModel
+from repro.graphs import build_aug_ast, build_graph_vocab
+from repro.models import Graph2Par, Graph2ParConfig
+from repro.train import GraphTrainer, TrainConfig
+
+LOOPS = [
+    "for (i = 0; i < n; i++) s += a[i];",
+    "for (i = 0; i < n; i++) a[i] = b[i] * 2.0;",
+]
+
+
+def _bundle(seed: int = 0) -> SuggesterBundle:
+    graphs = [build_aug_ast(parse_loop(src)) for src in LOOPS]
+    vocab = build_graph_vocab(graphs)
+
+    def trained(task):
+        model = Graph2Par(vocab, Graph2ParConfig(dim=16, layers=1,
+                                                 seed=seed))
+        return TrainedGraphModel(
+            trainer=GraphTrainer(model, TrainConfig(epochs=1, seed=seed)),
+            vocab=vocab, representation="aug", task=task,
+        )
+
+    return SuggesterBundle(parallel=trained("parallel"),
+                           clause_models={"reduction": trained("reduction")})
+
+
+class TestNaming:
+    def test_name_from_directory_path(self):
+        assert bundle_name_from_path("models/advisor") == "advisor"
+
+    def test_name_strips_archive_suffixes(self):
+        assert bundle_name_from_path("x/advisor.tar.gz") == "advisor"
+        assert bundle_name_from_path("advisor.tgz") == "advisor"
+        assert bundle_name_from_path("advisor.tar") == "advisor"
+
+    def test_spec_with_explicit_name(self):
+        assert parse_bundle_spec("prod=models/advisor.tar.gz") == \
+            ("prod", "models/advisor.tar.gz")
+
+    def test_bare_spec_derives_name(self):
+        assert parse_bundle_spec("models/advisor.tgz") == \
+            ("advisor", "models/advisor.tgz")
+
+    def test_path_like_prefix_is_not_a_name(self):
+        name, path = parse_bundle_spec("some/dir=weird/advisor")
+        assert path == "some/dir=weird/advisor"
+
+
+class TestRegistry:
+    def test_first_registered_is_default(self, tmp_path):
+        a = tmp_path / "alpha"
+        b = tmp_path / "beta"
+        _bundle(0).save(a)
+        _bundle(1).save(b)
+        registry = BundleRegistry.from_specs([str(a), str(b)])
+        assert registry.names() == ["alpha", "beta"]
+        assert registry.default == "alpha"
+        assert registry.get(None) is registry.get("alpha")
+        assert "beta" in registry
+        assert len(registry) == 2
+
+    def test_unknown_name_lists_available(self, tmp_path):
+        path = tmp_path / "alpha"
+        _bundle().save(path)
+        registry = BundleRegistry.from_specs([str(path)])
+        with pytest.raises(KeyError, match="alpha"):
+            registry.get("nope")
+
+    def test_empty_registry_has_no_default(self):
+        with pytest.raises(KeyError):
+            BundleRegistry().get(None)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "alpha"
+        _bundle().save(path)
+        with pytest.raises(ValueError, match="twice"):
+            BundleRegistry.from_specs([str(path), str(path)])
+
+    def test_loads_strictly_at_registration(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            BundleRegistry.from_specs([str(tmp_path / "missing")])
+
+    def test_explicit_names_disambiguate(self, tmp_path):
+        a = tmp_path / "advisor-a" / "advisor"
+        b = tmp_path / "advisor-b" / "advisor"
+        _bundle(0).save(a)
+        _bundle(1).save(b)
+        registry = BundleRegistry.from_specs(
+            [f"a={a}", f"b={b}"])
+        assert registry.names() == ["a", "b"]

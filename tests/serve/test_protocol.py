@@ -1,0 +1,199 @@
+"""Tests for the versioned serving wire protocol."""
+
+import io
+import struct
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    BatchResult,
+    Done,
+    Error,
+    FileResult,
+    Goodbye,
+    Hello,
+    HelloOk,
+    ProtocolError,
+    SuggestRequest,
+    decode_message,
+    encode_frame,
+    read_frame,
+    read_message,
+    write_message,
+)
+
+
+def _round_trip(message):
+    buf = io.BytesIO()
+    write_message(buf, message)
+    buf.seek(0)
+    return read_message(buf)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        buf = io.BytesIO(encode_frame({"kind": "bye", "x": 1}))
+        assert read_frame(buf) == {"kind": "bye", "x": 1}
+
+    def test_clean_eof_is_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_multiple_frames_in_sequence(self):
+        buf = io.BytesIO(encode_frame({"a": 1}) + encode_frame({"b": 2}))
+        assert read_frame(buf) == {"a": 1}
+        assert read_frame(buf) == {"b": 2}
+        assert read_frame(buf) is None
+
+    def test_overlong_declared_length_rejected(self):
+        buf = io.BytesIO(struct.pack(">I", 10_000) + b"x" * 10_000)
+        with pytest.raises(ProtocolError) as exc:
+            read_frame(buf, max_bytes=1024)
+        assert exc.value.code == "bad-frame"
+
+    def test_overlong_encode_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            encode_frame({"pad": "x" * 2048}, max_bytes=1024)
+        assert exc.value.code == "bad-frame"
+
+    def test_truncated_mid_body_rejected(self):
+        frame = encode_frame({"kind": "bye"})
+        with pytest.raises(ProtocolError) as exc:
+            read_frame(io.BytesIO(frame[:-2]))
+        assert exc.value.code == "bad-frame"
+
+    def test_truncated_mid_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_non_json_body_rejected(self):
+        body = b"not json at all"
+        buf = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError) as exc:
+            read_frame(buf)
+        assert exc.value.code == "bad-frame"
+
+    def test_non_object_body_rejected(self):
+        body = b"[1, 2, 3]"
+        buf = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError) as exc:
+            read_frame(buf)
+        assert exc.value.code == "bad-frame"
+
+
+class TestMessages:
+    def test_hello_round_trip(self):
+        msg = _round_trip(Hello(client="test-client"))
+        assert isinstance(msg, Hello)
+        assert msg.protocol == protocol.PROTOCOL_VERSION
+        assert msg.client == "test-client"
+
+    def test_hello_ok_round_trip(self):
+        msg = _round_trip(HelloOk(server="s",
+                                  capabilities={"bundles": ["a"]}))
+        assert isinstance(msg, HelloOk)
+        assert msg.capabilities == {"bundles": ["a"]}
+
+    def test_suggest_round_trip_defaults(self):
+        msg = _round_trip(SuggestRequest(sources=(("a.c", "int x;"),)))
+        assert isinstance(msg, SuggestRequest)
+        assert msg.sources == (("a.c", "int x;"),)
+        assert msg.bundle is None
+        assert msg.ordered is True
+        assert msg.stream is True
+        assert msg.shards is None
+
+    def test_suggest_round_trip_explicit(self):
+        msg = _round_trip(SuggestRequest(
+            sources=(("a.c", "x"), ("b.c", "y")), bundle="advisor",
+            ordered=False, stream=False, shards="auto"))
+        assert msg.bundle == "advisor"
+        assert msg.ordered is False
+        assert msg.stream is False
+        assert msg.shards == "auto"
+
+    def test_file_batch_done_error_bye_round_trip(self):
+        fr = _round_trip(FileResult(index=3, name="a.c",
+                                    payload={"error": None,
+                                             "suggestions": []}))
+        assert fr == FileResult(index=3, name="a.c",
+                                payload={"error": None,
+                                         "suggestions": []})
+        batch = _round_trip(BatchResult(files=(fr,)))
+        assert batch.files == (fr,)
+        done = _round_trip(Done(files=2, errors=1, stats={"x": 1}))
+        assert (done.files, done.errors, done.stats) == (2, 1, {"x": 1})
+        err = _round_trip(Error(code="bad-frame", message="nope"))
+        assert err.code == "bad-frame"
+        assert isinstance(_round_trip(Goodbye()), Goodbye)
+
+    def test_error_raise_carries_code(self):
+        with pytest.raises(ProtocolError) as exc:
+            Error(code="unknown-bundle", message="m").raise_()
+        assert exc.value.code == "unknown-bundle"
+
+
+class TestSchemaChecks:
+    """A decoded frame that is not a valid message is ``bad-request``."""
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "frobnicate"})
+        assert exc.value.code == "bad-request"
+
+    def test_missing_kind(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"protocol": 1})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "hello"})       # no protocol
+        assert "protocol" in str(exc.value)
+
+    def test_wrong_field_type(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "hello", "protocol": "one"})
+        assert exc.value.code == "bad-request"
+
+    def test_null_optional_field_uses_default(self):
+        msg = decode_message({"kind": "suggest", "sources": [],
+                              "bundle": None, "shards": None})
+        assert msg.bundle is None and msg.shards is None
+
+    def test_bad_source_pairs(self):
+        for sources in ([["only-name"]], [["a", 1]], ["flat"]):
+            with pytest.raises(ProtocolError):
+                decode_message({"kind": "suggest", "sources": sources})
+
+    def test_addressing_modes_are_exclusive(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "suggest",
+                            "sources": [["a.c", "x"]],
+                            "dir": "/corpus"})
+        assert "exactly one" in str(exc.value)
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "suggest", "paths": ["a.c"],
+                            "dir": "/corpus"})
+
+    def test_paths_and_dir_round_trip(self):
+        msg = _round_trip(SuggestRequest(paths=("x.c", "y.c")))
+        assert msg.paths == ("x.c", "y.c")
+        assert msg.dir is None
+        msg = _round_trip(SuggestRequest(dir="/corpus", pattern="*.h"))
+        assert (msg.dir, msg.pattern) == ("/corpus", "*.h")
+
+    def test_paths_must_be_strings(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "suggest", "paths": [1, 2]})
+
+    def test_bad_shards_values(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "suggest", "sources": [],
+                            "shards": "many"})
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "suggest", "sources": [],
+                            "shards": -2})
+
+    def test_batch_entries_must_be_objects(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "batch", "files": [42]})

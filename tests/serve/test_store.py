@@ -340,8 +340,71 @@ class TestStoreGC:
         result = SuggestionStore(tmp_path / "never-written").gc(
             max_bytes=10,
         )
-        assert result == {"removed_files": 0, "removed_bytes": 0,
-                          "kept_files": 0, "kept_bytes": 0}
+        assert {k: v for k, v in result.items() if k != "layers"} == {
+            "removed_files": 0, "removed_bytes": 0,
+            "kept_files": 0, "kept_bytes": 0,
+        }
+        for counters in result["layers"].values():
+            assert set(counters.values()) == {0}
+
+    def test_report_breaks_down_per_layer(self, tmp_path):
+        """The gc report accounts for every file, split by layer."""
+        store = self._filled(tmp_path, n=3)     # 3 parse + 3 suggest
+        result = store.gc(max_bytes=0)
+        layers = result["layers"]
+        assert layers["parse"]["removed_files"] == 3
+        assert layers["suggest"]["removed_files"] == 3
+        assert layers["other"]["removed_files"] == 0
+        assert result["removed_files"] == 6
+        assert result["removed_bytes"] == (
+            layers["parse"]["removed_bytes"]
+            + layers["suggest"]["removed_bytes"]
+        )
+        assert layers["parse"]["removed_bytes"] > 0
+
+    def test_age_applies_before_bytes(self, tmp_path):
+        """An entry the age limit drops never counts against the byte
+        budget — the two limits compose in a fixed order."""
+        import os
+        import time
+
+        store = SuggestionStore(tmp_path)
+        store.put_parse("old-big", {"requests": [], "error": None,
+                                    "pad": "x" * 500})
+        store.put_parse("fresh", {"requests": [], "error": None})
+        now = time.time()
+        old = store._parse_path("old-big")
+        fresh = store._parse_path("fresh")
+        os.utime(old, (now - 10 * 86400, now - 10 * 86400))
+        os.utime(fresh, (now, now))
+        # budget fits "fresh" only because "old-big" ages out first
+        budget = fresh.stat().st_size
+        result = store.gc(max_bytes=budget, max_age_days=7, now=now)
+        assert result["kept_files"] == 1
+        assert list(store.base.rglob("*.json")) == [fresh]
+
+    def test_mtime_ties_break_deterministically(self, tmp_path):
+        """Identical mtimes: eviction order falls back to path, so the
+        same cache state always prunes the same entries."""
+        import os
+        import time
+
+        store = SuggestionStore(tmp_path)
+        for key in ("a", "b", "c", "d"):
+            store.put_parse(key, {"requests": [], "error": None})
+        now = time.time()
+        paths = sorted(store.base.rglob("*.json"))
+        for path in paths:
+            os.utime(path, (now, now))
+        budget = sum(p.stat().st_size for p in paths[:2])
+        survivors = set()
+        for _ in range(3):
+            store.gc(max_bytes=budget, now=now)
+            current = frozenset(store.base.rglob("*.json"))
+            survivors.add(current)
+        # repeated runs agree (and keep the path-ascending pair)
+        assert len(survivors) == 1
+        assert next(iter(survivors)) == frozenset(paths[:2])
 
 
 class TestDescribe:

@@ -164,6 +164,36 @@ class TestCacheGcCLI:
         assert main(["cache", "gc", str(tmp_path)]) == 2
         assert "--max-bytes" in capsys.readouterr().err
 
+    def test_gc_json_reports_per_layer(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        store.put_parse("p1", {"requests": [], "error": None})
+        store.put_suggestions("model", "s1",
+                              {"suggestions": [], "error": None})
+        code = main(["cache", "gc", str(tmp_path / "cache"),
+                     "--max-bytes", "0", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed_files"] == 2
+        assert report["layers"]["parse"]["removed_files"] == 1
+        assert report["layers"]["suggest"]["removed_files"] == 1
+        assert report["layers"]["parse"]["removed_bytes"] > 0
+        assert report["kept_files"] == 0
+
+    def test_gc_text_report_names_layers(self, tmp_path, capsys):
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        store.put_parse("p1", {"requests": [], "error": None})
+        assert main(["cache", "gc", str(tmp_path / "cache"),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        assert "parse: removed 1" in out
+
     def test_stats_reports_layers_and_memo(self, tmp_path, capsys):
         from repro.serve import SuggestionStore
 
@@ -301,7 +331,14 @@ class TestSuggestDirCLI:
         assert code == 0
         out, err = capsys.readouterr()
         records = [json.loads(line) for line in out.splitlines()]
-        # stdout is pure NDJSON: one record per file, nothing else
+        # stdout is pure NDJSON: one record per file, then one final
+        # summary record marking clean end-of-stream
+        done = records.pop()
+        assert done["event"] == "done"
+        assert done["files"] == 3
+        assert done["loops"] == 3
+        assert done["errors"] == 1
+        assert done["elapsed_s"] >= 0
         assert sorted(r["file"].rsplit("/", 1)[-1] for r in records) == \
             ["broken.c", "k1.c", "k2.c"]
         by_name = {r["file"].rsplit("/", 1)[-1]: r for r in records}
@@ -309,6 +346,123 @@ class TestSuggestDirCLI:
         assert by_name["broken.c"]["error"] is not None
         # the human-readable summary lands on stderr
         assert "3 loops across 3 files" in err
+
+
+class TestServerCLI:
+    """`repro serve` + `repro suggest-dir --server`: the CLI as a thin
+    client over the long-lived daemon."""
+
+    FLAGS = ["--scale", "0.005", "--epochs", "1", "--dim", "16"]
+
+    @staticmethod
+    def _stub_server():
+        import numpy as np
+
+        from repro.serve import SuggestionService, SuggestServer
+
+        class Stub:
+            def __init__(self, value):
+                self.value = value
+
+            def predict_samples(self, samples):
+                return np.full(len(samples), self.value, dtype=int)
+
+        service = SuggestionService(Stub(1), {"reduction": Stub(0)})
+        return SuggestServer({"advisor": service})
+
+    def test_server_round_trip_is_byte_identical(self, tmp_path, capsys):
+        """Acceptance: --server output matches the in-process path
+        byte for byte."""
+        import json
+
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import get_context
+        from repro.serve import ServeConfig, SuggestServer, build_service
+
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "k1.c").write_text(TestSuggestDirCLI.SOURCE)
+        (src_dir / "k2.c").write_text(TestSuggestDirCLI.OTHER)
+        golden = tmp_path / "golden.json"
+        assert main(["suggest-dir", str(src_dir), *self.FLAGS,
+                     "--quiet", "--out", str(golden)]) == 0
+
+        # the daemon serves the same (process-cached) trained models
+        ctx = get_context(ExperimentConfig(scale=0.005, seed=7,
+                                           epochs=1, dim=16))
+        service = build_service(ctx, ServeConfig())
+        with SuggestServer({"default": service}).start() as srv:
+            served = tmp_path / "served.json"
+            assert main(["suggest-dir", str(src_dir),
+                         "--server", srv.address,
+                         "--quiet", "--out", str(served)]) == 0
+            assert served.read_bytes() == golden.read_bytes()
+
+            # --stream through the daemon: NDJSON + final done record
+            capsys.readouterr()
+            assert main(["suggest-dir", str(src_dir),
+                         "--server", srv.address, "--stream"]) == 0
+            out, err = capsys.readouterr()
+            records = [json.loads(line) for line in out.splitlines()]
+            assert records[-1]["event"] == "done"
+            assert records[-1]["files"] == 2
+            assert "3 loops across 2 files" in err
+
+    def test_server_bundle_name_selected(self, tmp_path, capsys):
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        with self._stub_server().start() as srv:
+            out = tmp_path / "out.json"
+            assert main(["suggest-dir", str(src_dir),
+                         "--server", srv.address, "--bundle", "advisor",
+                         "--quiet", "--out", str(out)]) == 0
+            import json
+
+            payload = json.loads(out.read_text())
+            assert len(payload[0]["suggestions"]) == 2
+
+    def test_unknown_server_bundle_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        with self._stub_server().start() as srv:
+            code = main(["suggest-dir", str(tmp_path),
+                         "--server", srv.address, "--bundle", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not serve bundle" in err
+        assert "advisor" in err
+
+    def test_unreachable_server_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        # a closed ephemeral port: connection refused, not a hang
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["suggest-dir", str(tmp_path),
+                     "--server", f"127.0.0.1:{port}"])
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_bad_server_address_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        code = main(["suggest-dir", str(tmp_path), "--server", "bogus"])
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_serve_requires_a_transport(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_rejects_bad_listen_address(self, capsys):
+        from repro.cli import serve_main
+
+        assert serve_main(["--listen", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
 
 
 class TestUmbrellaCLI:
