@@ -1,0 +1,202 @@
+"""CI smoke: many concurrent clients against one live daemon.
+
+Trains nothing itself — point it at a prebuilt bundle (the CI job
+trains one) and a corpus directory.  The script then checks the three
+serving promises end to end, over real sockets against a real
+subprocess daemon:
+
+1. **byte-identity** — every one of N concurrent clients receives
+   exactly the payloads an in-process pipeline run of the same corpus
+   produces;
+2. **no duplicate forwards** — the daemon's cumulative forward count
+   after all N clients equals the single in-process run's (concurrent
+   identical requests coalesce or hit the shared store, they are
+   never recomputed per client);
+3. **clean SIGTERM drain under load** — a SIGTERM that lands while a
+   streaming reply is in flight lets that reply run to completion and
+   exits 0.
+
+Usage::
+
+    python scripts/concurrency_smoke.py --bundle advisor \
+        [--corpus examples/corpus] [--clients 8]
+
+Exit status 0 on success; any failed check raises with a message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.artifacts import BundleRegistry               # noqa: E402
+from repro.client import connect                         # noqa: E402
+from repro.serve import ServeConfig, build_service       # noqa: E402
+
+
+def golden_run(bundle: str, named: list) -> tuple[list, int]:
+    """In-process reference: payloads + total forwarded graphs."""
+    registry = BundleRegistry.from_specs([bundle])
+    service = build_service(registry.get(registry.default),
+                            ServeConfig())
+    payloads = [fs.to_payload()
+                for _, fs in sorted(service.iter_sources(named))]
+    return payloads, service.cache_stats()["forwards"]["graphs"]
+
+
+def start_daemon(bundle: str, cache_dir: str,
+                 ready_file: Path) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--listen", "127.0.0.1:0", "--bundle", bundle,
+         "--cache-dir", cache_dir, "--ready-file", str(ready_file)],
+        env=env, cwd=REPO_ROOT)
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if ready_file.exists() and ready_file.read_text().strip():
+            return proc, ready_file.read_text().strip()
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with {proc.returncode}")
+        time.sleep(0.2)
+    proc.kill()
+    raise RuntimeError("daemon never became ready")
+
+
+def concurrent_clients(address: str, named: list, n: int,
+                       golden: list) -> dict:
+    """N clients, same corpus, all at once; returns final stats."""
+    errors: list = []
+    stats: dict = {}
+    barrier = threading.Barrier(n)
+
+    def one_client(cid: int) -> None:
+        try:
+            with connect(address) as client:
+                barrier.wait(timeout=60)
+                got = [fs.to_payload()
+                       for fs in client.suggest_sources(named)]
+                if json.dumps(got, sort_keys=True) != \
+                        json.dumps(golden, sort_keys=True):
+                    raise AssertionError(
+                        f"client {cid}: payloads diverge from the "
+                        f"in-process golden run")
+                stats[cid] = client.last_done.stats
+        except Exception as exc:
+            errors.append((cid, exc))
+
+    threads = [threading.Thread(target=one_client, args=(cid,))
+               for cid in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    if errors:
+        raise AssertionError(f"client failures: {errors}")
+    # every Done carries the service's cumulative stats; the final
+    # snapshot (max graphs) is the daemon's total forward work
+    return max(stats.values(),
+               key=lambda s: s["forwards"]["graphs"])
+
+
+def sigterm_under_load(proc: subprocess.Popen, address: str,
+                       named: list) -> None:
+    """SIGTERM mid-stream: the in-flight reply completes, exit 0."""
+    received: list = []
+    failure: list = []
+
+    # a salted, wider workload so the stream is still in flight when
+    # the signal lands
+    bulk = [(f"drain{i}_{name}", src + f"\n/* drain {i} */\n")
+            for i in range(12) for name, src in named]
+
+    def streaming_client() -> None:
+        try:
+            with connect(address) as client:
+                for fs in client.stream_sources(bulk):
+                    received.append(fs.name)
+        except Exception as exc:
+            failure.append(exc)
+
+    t = threading.Thread(target=streaming_client)
+    t.start()
+    deadline = time.monotonic() + 60
+    while not received and time.monotonic() < deadline:
+        time.sleep(0.005)
+    if not received:
+        raise AssertionError("stream produced nothing to drain")
+    proc.send_signal(signal.SIGTERM)
+    t.join(timeout=120)
+    if failure:
+        raise AssertionError(
+            f"in-flight stream died during drain: {failure[0]}")
+    if len(received) != len(bulk):
+        raise AssertionError(
+            f"drained stream was cut short: {len(received)} of "
+            f"{len(bulk)} files")
+    code = proc.wait(timeout=60)
+    if code != 0:
+        raise AssertionError(f"daemon exited {code} after SIGTERM")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--bundle", required=True,
+                        help="trained bundle directory or archive")
+    parser.add_argument("--corpus", default=str(REPO_ROOT / "examples"
+                                                / "corpus"),
+                        help="directory of C files to serve")
+    parser.add_argument("--clients", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    paths = sorted(Path(args.corpus).glob("*.c"))
+    if not paths:
+        raise SystemExit(f"no .c files under {args.corpus}")
+    named = [(p.name, p.read_text(encoding="utf-8")) for p in paths]
+
+    print(f"golden: in-process run over {len(named)} files")
+    golden, golden_graphs = golden_run(args.bundle, named)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        ready = Path(cache_dir) / "ready.txt"
+        proc, address = start_daemon(args.bundle, cache_dir, ready)
+        try:
+            print(f"daemon at {address}; firing {args.clients} "
+                  f"concurrent clients")
+            stats = concurrent_clients(address, named, args.clients,
+                                       golden)
+            graphs = stats["forwards"]["graphs"]
+            print(f"byte-identity: OK across {args.clients} clients")
+            if graphs != golden_graphs:
+                raise AssertionError(
+                    f"duplicate forwards: daemon computed {graphs} "
+                    f"graphs for {args.clients} identical requests, "
+                    f"in-process golden needed {golden_graphs}")
+            print(f"shared forwards: OK ({graphs} graphs total, "
+                  f"coalesce {stats.get('coalesce')})")
+            sigterm_under_load(proc, address, named)
+            print("SIGTERM drain under load: OK")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+    print("concurrency smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -416,6 +416,25 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--epochs", type=int, default=4)
     parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--batch-window-ms", type=float, default=None,
+                        metavar="MS",
+                        help="micro-batch window: how long an idle "
+                             "bundle waits for concurrent requests to "
+                             "coalesce into one forward (default: "
+                             "2.0; flushes immediately when only one "
+                             "client is connected, so single-client "
+                             "latency does not regress)")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        metavar="N",
+                        help="waiting requests per bundle before "
+                             "admission refuses with a 'busy' error "
+                             "frame (default: 64)")
+    parser.add_argument("--round-files", type=int, default=None,
+                        metavar="N",
+                        help="files per coalesced compute round — the "
+                             "fairness quantum: a bulk request is "
+                             "chunked at this grain so interactive "
+                             "requests join every round (default: 256)")
     parser.add_argument("--allow-local-dir", action="append",
                         default=[], metavar="DIR",
                         help="let clients request suggestions for "
@@ -452,6 +471,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         net_kwargs["port"] = int(port)
     if args.allow_local_dir:
         net_kwargs["local_roots"] = tuple(args.allow_local_dir)
+    if args.batch_window_ms is not None:
+        net_kwargs["batch_window_ms"] = args.batch_window_ms
+    if args.queue_depth is not None:
+        net_kwargs["queue_depth"] = args.queue_depth
+    if args.round_files is not None:
+        net_kwargs["round_files"] = args.round_files
 
     if args.bundle:
         from repro.artifacts import ArtifactError, BundleRegistry

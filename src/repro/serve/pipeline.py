@@ -203,6 +203,7 @@ class SuggestionService:
         self._caches: dict[tuple, object] = {}
         self._collate_cache: dict = {}
         self._forwards = {"calls": 0, "graphs": 0}
+        self._coalesce = {"rounds": 0, "requests": 0, "deduped_files": 0}
         self.suggester = PragmaSuggester(
             self._wrap(parallel_model),
             {name: self._wrap(m) for name, m in clause_models.items()},
@@ -301,6 +302,48 @@ class SuggestionService:
                 store.put_suggestions(self._model_key, keys[i],
                                       fs.to_payload())
             yield i, fs
+
+    def iter_joint(
+        self, workloads: list[tuple[object, list[tuple[str, str]]]],
+    ) -> Iterator[tuple[object, int, FileSuggestions]]:
+        """Coalesce many tagged workloads into one pipeline pass.
+
+        ``workloads`` is a list of ``(tag, named_sources)`` pairs — one
+        per admitted client request (the network server's micro-batcher
+        is the canonical caller).  Yields ``(tag, index,
+        FileSuggestions)`` in completion order, where ``index`` is the
+        file's position inside that tag's *own* ``named_sources``.
+
+        This generalises the fan-out key from (request, file) to
+        (client, request, file): files with identical *content* across
+        different clients' requests are parsed, encoded and forwarded
+        exactly once — one warm block-diagonal forward answers every
+        client — and the per-(tag, index) fan-out re-labels the shared
+        result with each request's own file name.  Per-file results are
+        byte-identical to serving each workload alone: batching only
+        changes how much work is shared, never a file's own numbers.
+        """
+        distinct: list[tuple[str, str]] = []
+        first_seen: dict[str, int] = {}
+        subscribers: dict[int, list[tuple[object, int, str]]] = {}
+        total_files = 0
+        for tag, named in workloads:
+            for i, (name, source) in enumerate(named):
+                total_files += 1
+                di = first_seen.get(source)
+                if di is None:
+                    di = len(distinct)
+                    first_seen[source] = di
+                    distinct.append((name, source))
+                subscribers.setdefault(di, []).append((tag, i, name))
+        self._coalesce["rounds"] += 1
+        self._coalesce["requests"] += len(workloads)
+        self._coalesce["deduped_files"] += total_files - len(distinct)
+        for di, fs in self.iter_sources(distinct):
+            for tag, i, name in subscribers[di]:
+                out = fs if fs.name == name else FileSuggestions(
+                    name=name, suggestions=fs.suggestions, error=fs.error)
+                yield tag, i, out
 
     def stream_tagged(
         self, named_sources: list[tuple[str, str]], *,
@@ -441,6 +484,7 @@ class SuggestionService:
             ))
         }
         stats["forwards"] = dict(self._forwards)
+        stats["coalesce"] = dict(self._coalesce)
         if self.store is not None:
             stats["store"] = self.store.stats()
         return stats

@@ -29,8 +29,10 @@ A protocol-version mismatch is refused at the handshake with an
 :class:`Error` frame (code ``protocol-mismatch``) before any request
 is accepted.  Frame-level violations (over-long or truncated frames,
 bytes that are not JSON) use code ``bad-frame`` and close the
-connection; request-level problems (unknown bundle, a serving failure)
-are reported as :class:`Error` frames with the connection kept alive.
+connection; request-level problems (unknown bundle, a serving failure,
+an admission queue at capacity — code ``busy``) are reported as
+:class:`Error` frames with the connection kept alive, so a ``busy``
+client can simply retry on the same connection after a short backoff.
 
 Payloads carry only JSON-shaped data — the exact
 ``FileSuggestions.to_payload()`` dicts the persistent store writes —
@@ -68,7 +70,9 @@ class ProtocolError(RuntimeError):
     (framing/JSON-level, connection must close), ``bad-request``
     (schema-level, the frame decoded but is not a valid message),
     ``protocol-mismatch`` (handshake refusal), ``unknown-bundle``,
-    ``serve-error`` and ``shutting-down`` (request-level).
+    ``serve-error``, ``shutting-down`` and ``busy`` (request-level;
+    ``busy`` means the bundle's admission queue is full — back off
+    and retry on the same connection).
     """
 
     def __init__(self, code: str, message: str) -> None:

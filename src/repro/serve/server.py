@@ -9,130 +9,268 @@ from the same warm :class:`~repro.serve.store.SuggestionStore`, the
 same loaded models, and the same encode caches, instead of each
 invocation paying model load + parse + forward from scratch.
 
-Concurrency model: one thread per connection (the pipeline is
-CPU-bound pure python, so threads are for *multiplexing*, not
-speedup — per-request ``shards`` fan-out supplies the parallelism).
-Each named service owns a lock serializing its compute; a request
-that overlaps files another client just computed therefore hits the
-warm store and performs zero parses and zero forwards.  Results
-stream to the requesting client as the pipeline yields them.
+Concurrency model: a single asyncio event loop owns every socket
+(accepts, frame reads, frame writes), so a thousand idle connections
+cost a thousand coroutines, not a thousand threads.  Compute is
+CPU-bound pure python and runs off-loop: each named bundle has an
+*admission lane* — a bounded queue of accepted requests — and a
+micro-batcher that drains the lane into coalesced *rounds*, executed
+one at a time per bundle on a small thread pool.  A round joins the
+workloads of every queued request through
+:meth:`SuggestionService.iter_joint`, so concurrent requests from
+*different* clients share one block-diagonal forward (identical file
+content across clients is computed exactly once), and the replies fan
+back out per (client, request, file) byte-identical to serving each
+request alone.
+
+Admission control and fairness:
+
+- a lane holding ``queue_depth`` waiting requests refuses the next one
+  with a ``busy`` error frame instead of buffering without bound;
+- each round takes at most ``round_files`` files, drawn round-robin
+  across the waiting requests — one bulk client streaming a large
+  corpus is chunked across rounds while small interactive requests
+  join (and finish within) every round, so bulk never starves
+  interactive;
+- ``batch_window_ms`` is the micro-batch window: a request arriving at
+  an *idle* lane waits that long for concurrent arrivals to coalesce
+  with.  The window is skipped when only one client is connected
+  (flush-on-idle — single-client latency does not regress) and after a
+  busy round (work that queued during the round has already
+  coalesced).
+
+Replies never block compute: frames are queued per connection and
+written by a dedicated writer coroutine, so a slow or stalled reader
+delays only itself — if it stops draining for ``_WRITE_TIMEOUT_S`` (or
+falls a full outbox behind) it is dropped like a dead client while the
+round keeps streaming to everyone else.
 
 Lifecycle: :meth:`SuggestServer.start` binds and serves on a
 background thread (tests, embedding); :meth:`serve_forever` serves on
 the calling thread (the CLI).  :meth:`shutdown` drains — new requests
 are refused with a ``shutting-down`` error frame, in-flight replies
-run to completion, idle connections close at the next poll tick —
-then the listener closes.  A client that vanishes mid-stream only
-loses its own connection; the pipeline generator is closed so shard
-workers are reaped, and every other client keeps streaming.
+run to completion, idle connections close immediately — then the
+listener closes.  A client that vanishes mid-stream only loses its own
+connection; its undelivered files are dropped and every other client
+keeps streaming.
 """
 
 from __future__ import annotations
 
+import asyncio
 import socket
-import socketserver
 import threading
-import time
 import traceback
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.serve import protocol
 from repro.serve.pipeline import ServeConfig, SuggestionService
-from repro.serve.stream import merge_results
 
-#: seconds between idle-connection polls (drain responsiveness)
-_IDLE_POLL_S = 0.5
-#: seconds a reply write may stall on client backpressure before the
+#: seconds one reply frame may stall on client backpressure before the
 #: client is considered gone
 _WRITE_TIMEOUT_S = 30.0
-#: total seconds of write stall one streaming request may accumulate
-#: while holding its bundle's compute lock — a drip-feeding client
-#: must not block every other client of the bundle forever
-_REQUEST_WRITE_BUDGET_S = 120.0
+#: frames a connection's outbox may buffer before a non-reading client
+#: is dropped (bounds per-connection memory)
+_OUTBOX_FRAMES = 512
+#: seconds shutdown waits for in-flight replies before cancelling them
+_DRAIN_GRACE_S = 30.0
+
+#: waiting requests per bundle lane before admission refuses with
+#: a ``busy`` error frame
+DEFAULT_QUEUE_DEPTH = 64
+#: micro-batch window (milliseconds) an idle lane waits for concurrent
+#: requests to coalesce; skipped with a single connected client
+DEFAULT_BATCH_WINDOW_MS = 2.0
+#: files per coalesced compute round — the fairness quantum: a bulk
+#: request is chunked at this grain so interactive requests join every
+#: round
+DEFAULT_ROUND_FILES = 256
+
+_CLOSE = object()       # outbox sentinel: flush, then close the writer
 
 
-class _FrameReader:
-    """Frame assembly that survives idle-poll timeouts.
+class _Connection:
+    """One accepted client connection; all state lives on the loop.
 
-    The per-connection socket carries a short timeout so the drain
-    loop stays live, but a timeout mid-frame must not corrupt the byte
-    stream: a buffered ``makefile`` reader discards partial reads on
-    timeout, turning a slow (not dead) client into a framing error.
-    This reader accumulates into its own buffer instead — a
-    ``socket.timeout`` propagates to the caller, the partial frame
-    stays buffered, and the next call resumes exactly where it
-    stopped.
+    Outgoing frames are *queued* (already encoded) and written by a
+    dedicated writer task, so the compute path never blocks on a slow
+    reader: :meth:`send` either enqueues and returns ``True``, or
+    declares the client gone.
     """
 
-    def __init__(self, sock, max_bytes: int) -> None:
-        self._sock = sock
-        self._max = max_bytes
-        self._buf = bytearray()
-        self._eof = False
+    def __init__(self, reader, writer, max_frame_bytes: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.max_frame_bytes = max_frame_bytes
+        self.dead = False
+        self.closed = False
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=_OUTBOX_FRAMES)
+        self.writer_task: asyncio.Task | None = None
 
-    def _fill(self, n: int) -> None:
-        """Grow the buffer to ``n`` bytes, or record EOF; a stalled
-        peer raises ``socket.timeout`` with the buffer intact."""
-        while len(self._buf) < n and not self._eof:
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                self._eof = True
-                return
-            self._buf.extend(chunk)
+    def send(self, message) -> bool:
+        """Encode + queue one frame; ``False`` when the client is gone.
 
-    def read_message(self):
-        """One decoded message; ``None`` on clean EOF at a frame
-        boundary; :class:`~repro.serve.protocol.ProtocolError` on a
-        violation; ``socket.timeout`` while a frame is incomplete."""
-        header_size = protocol.HEADER_SIZE
-        self._fill(header_size)
-        if len(self._buf) < header_size:
-            if not self._buf:
-                return None
-            raise protocol.ProtocolError(
-                "bad-frame", "connection closed mid-frame")
-        length = protocol.parse_frame_length(
-            bytes(self._buf[:header_size]), self._max)
-        self._fill(header_size + length)
-        if len(self._buf) < header_size + length:
-            raise protocol.ProtocolError(
-                "bad-frame",
-                "connection closed between header and body")
-        body = bytes(self._buf[header_size:header_size + length])
-        del self._buf[:header_size + length]
-        return protocol.decode_message(protocol.decode_frame_body(body))
+        Raises :class:`~repro.serve.protocol.ProtocolError` when the
+        encoded frame exceeds the frame limit — nothing is queued, so
+        the caller can still send a clean error frame instead.
+        """
+        if self.dead or self.closed:
+            return False
+        frame = protocol.encode_frame(message.to_wire(),
+                                      self.max_frame_bytes)
+        try:
+            self.outbox.put_nowait(frame)
+        except asyncio.QueueFull:
+            # the client stopped reading a full outbox ago: drop it
+            # rather than buffer its reply without bound
+            self.abort()
+            return False
+        return True
 
+    def abort(self) -> None:
+        """Declare the client gone and tear the transport down."""
+        self.dead = True
+        if self.writer_task is not None and not self.writer_task.done():
+            self.writer_task.cancel()
 
-class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = False       # server_close() waits for handlers
-    block_on_close = True
-    owner: "SuggestServer"
-
-
-if hasattr(socketserver, "ThreadingUnixStreamServer"):
-    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
-        daemon_threads = False
-        block_on_close = True
-        owner: "SuggestServer"
-else:                      # platforms without AF_UNIX (Windows)
-    _ThreadingUnixServer = None
+    def close(self) -> None:
+        """Flush queued frames, then close (writer task finishes it)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.outbox.put_nowait(_CLOSE)
+        except asyncio.QueueFull:
+            self.abort()
 
 
-class _Handler(socketserver.StreamRequestHandler):
-    def setup(self) -> None:
-        # Bounded reads keep the drain loop live: an idle connection
-        # wakes every poll tick to check whether the server is closing.
-        self.request.settimeout(_IDLE_POLL_S)
-        if self.request.family != getattr(socket, "AF_UNIX", None):
-            # small request/reply frames + Nagle + delayed ACK would
-            # add ~40ms to every warm round trip
-            self.request.setsockopt(socket.IPPROTO_TCP,
-                                    socket.TCP_NODELAY, 1)
-        super().setup()
+class _Pending:
+    """One admitted request: files to schedule + reply bookkeeping.
 
-    def handle(self) -> None:
-        self.server.owner._handle_connection(self.request, self.wfile)
+    The admission lane schedules its files across compute rounds
+    (``take``); deliveries arrive back on the event loop in completion
+    order and are re-sequenced here for ``ordered`` streams and batch
+    replies.  ``done`` resolves once the terminating frame (``done``
+    or ``error``) is queued — the connection handler awaits it before
+    reading the client's next request.
+    """
+
+    def __init__(self, conn: _Connection, request, named: list,
+                 service: SuggestionService, future) -> None:
+        self.conn = conn
+        self.request = request
+        self.files = [(i, name, source)
+                      for i, (name, source) in enumerate(named)]
+        self.total = len(self.files)
+        self.service = service
+        self.done = future
+        self._cursor = 0        # next unscheduled file
+        self._delivered = 0
+        self._errors = 0
+        self._next_emit = 0     # ordered-stream resume point
+        self._buffer: dict = {}
+        self._batch: list = []
+        self.finished = False
+
+    @property
+    def fully_scheduled(self) -> bool:
+        return self._cursor >= self.total
+
+    def take(self):
+        """The next unscheduled ``(index, name, source)``, or ``None``."""
+        if self._cursor >= self.total:
+            return None
+        item = self.files[self._cursor]
+        self._cursor += 1
+        return item
+
+    def _send_frame(self, frame) -> None:
+        try:
+            self.conn.send(frame)
+        except protocol.ProtocolError as exc:
+            self.fail("serve-error",
+                      f"reply frame too large ({exc})")
+
+    def deliver(self, index: int, fs) -> None:
+        """One finished file (event loop only; completion order)."""
+        if self.finished:
+            return
+        self._delivered += 1
+        self._errors += fs.error is not None
+        frame = protocol.FileResult(index=index, name=fs.name,
+                                    payload=fs.to_payload())
+        if not self.request.stream:
+            self._batch.append(frame)
+        elif self.request.ordered:
+            self._buffer[index] = frame
+            while self._next_emit in self._buffer:
+                self._send_frame(self._buffer.pop(self._next_emit))
+                self._next_emit += 1
+        else:
+            self._send_frame(frame)
+        if self._delivered >= self.total:
+            self.finish()
+
+    def finish(self) -> None:
+        """Queue the terminating reply frames and resolve ``done``."""
+        if self.finished:
+            return
+        self.finished = True
+        try:
+            if not self.request.stream:
+                files = tuple(sorted(self._batch, key=lambda f: f.index))
+                self.conn.send(protocol.BatchResult(files=files))
+            self.conn.send(protocol.Done(
+                files=self._delivered, errors=self._errors,
+                stats=self.service.cache_stats()))
+        except protocol.ProtocolError as exc:
+            # the whole reply exceeds one frame; nothing has hit the
+            # wire, so a clean error frame can still follow
+            self._send_error(
+                "serve-error",
+                f"batch reply too large for one frame ({exc}); "
+                f"request stream=True instead")
+        self._resolve()
+
+    def fail(self, code: str, message: str) -> None:
+        """Terminate the reply with an error frame (idempotent)."""
+        if self.finished:
+            return
+        self.finished = True
+        self._send_error(code, message)
+        self._resolve()
+
+    def cancel(self) -> None:
+        """The client vanished: resolve without sending anything."""
+        self.finished = True
+        self._resolve()
+
+    def _send_error(self, code: str, message: str) -> None:
+        try:
+            self.conn.send(protocol.Error(code=code, message=message))
+        except protocol.ProtocolError:
+            pass
+        except Exception:
+            pass
+
+    def _resolve(self) -> None:
+        if not self.done.done():
+            self.done.set_result(None)
+
+
+class _Lane:
+    """Admission queue + micro-batcher state for one named bundle."""
+
+    def __init__(self, name: str, service: SuggestionService) -> None:
+        self.name = name
+        self.service = service
+        self.queue: deque[_Pending] = deque()
+        self.wake = asyncio.Event()
+        #: no round has run since the queue last emptied — the
+        #: micro-batch window only applies to such cold arrivals
+        self.idle = True
 
 
 class SuggestServer:
@@ -143,6 +281,12 @@ class SuggestServer:
     request without a ``bundle`` field is served from (defaults to the
     first entry).  Exactly one of ``host``/``port`` (TCP; ``port=0``
     binds an ephemeral port) or ``unix_path`` selects the transport.
+
+    ``queue_depth`` bounds each bundle's admission queue (excess
+    requests are refused with a ``busy`` error frame),
+    ``batch_window_ms`` is the micro-batch coalescing window, and
+    ``round_files`` caps the files per coalesced compute round — the
+    fairness quantum between bulk and interactive clients.
     """
 
     def __init__(self, services: dict[str, SuggestionService], *,
@@ -151,7 +295,10 @@ class SuggestServer:
                  unix_path: str | Path | None = None,
                  local_roots: tuple | list | None = None,
                  max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
-                 server_id: str = "repro.serve") -> None:
+                 server_id: str = "repro.serve",
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+                 round_files: int = DEFAULT_ROUND_FILES) -> None:
         if not services:
             raise ValueError("a SuggestServer needs at least one service")
         self.services = dict(services)
@@ -166,24 +313,48 @@ class SuggestServer:
         if self.default not in self.services:
             raise ValueError(f"default bundle {self.default!r} is not "
                              f"among {sorted(self.services)}")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if round_files < 1:
+            raise ValueError("round_files must be >= 1")
         self.max_frame_bytes = max_frame_bytes
         self.server_id = server_id
-        self._locks = {name: threading.Lock() for name in self.services}
-        self._draining = threading.Event()
-        self._stopped = threading.Event()
+        self.queue_depth = queue_depth
+        self.batch_window_ms = float(batch_window_ms)
+        self.round_files = round_files
         self._shutdown_lock = threading.Lock()
+        self._shutting_down = False
+        self._draining = threading.Event()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
         self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain_evt: asyncio.Event | None = None
+        self._lanes: dict[str, _Lane] = {}
+        self._conns: set[_Connection] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._executor: ThreadPoolExecutor | None = None
         self.unix_path = None if unix_path is None else str(unix_path)
+        # Bind synchronously so ``address`` is valid (and bind errors
+        # raise here) before any event loop exists.
         if self.unix_path is not None:
-            if _ThreadingUnixServer is None:
+            if not hasattr(socket, "AF_UNIX"):
                 raise ValueError(
                     "unix sockets are not supported on this platform; "
                     "use host/port")
             self._reclaim_stale_socket(self.unix_path)
-            self._server = _ThreadingUnixServer(self.unix_path, _Handler)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.bind(self.unix_path)
+                sock.listen(128)
+            except BaseException:
+                sock.close()
+                raise
         else:
-            self._server = _ThreadingTCPServer((host, port), _Handler)
-        self._server.owner = self
+            sock = socket.create_server((host, port), backlog=128,
+                                        reuse_port=False)
+        sock.setblocking(False)
+        self._sock = sock
 
     @staticmethod
     def _reclaim_stale_socket(path: str) -> None:
@@ -220,19 +391,29 @@ class SuggestServer:
         """The bound address: ``host:port`` or the unix socket path."""
         if self.unix_path is not None:
             return self.unix_path
-        host, port = self._server.server_address[:2]
+        host, port = self._sock.getsockname()[:2]
         return f"{host}:{port}"
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
-        self._server.serve_forever(poll_interval=_IDLE_POLL_S)
+        try:
+            asyncio.run(self._main())
+        finally:
+            if self.unix_path is not None:
+                try:
+                    Path(self.unix_path).unlink()
+                except OSError:
+                    pass
+            self._stopped.set()
 
     def start(self) -> "SuggestServer":
         """Serve on a background thread; returns once accepting."""
         self._thread = threading.Thread(target=self.serve_forever,
-                                        name="repro-serve-accept",
+                                        name="repro-serve-loop",
                                         daemon=True)
         self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("server failed to start accepting")
         return self
 
     def shutdown(self) -> None:
@@ -247,28 +428,88 @@ class SuggestServer:
         half-drained server.
         """
         with self._shutdown_lock:
-            first = not self._draining.is_set()
-            if first:
-                self._draining.set()
+            first = not self._shutting_down
+            self._shutting_down = True
         if not first:
             self._stopped.wait(timeout=60.0)
             return
-        self._server.shutdown()          # stop accepting
-        self._server.server_close()      # waits for handler threads
-        if self._thread is not None:
-            self._thread.join(timeout=30.0)
-        if self.unix_path is not None:
+        self._draining.set()
+        loop = self._loop
+        if loop is not None and not self._stopped.is_set():
             try:
-                Path(self.unix_path).unlink()
+                loop.call_soon_threadsafe(self._begin_drain)
+            except RuntimeError:
+                pass        # loop already closed; serve_forever's
+                            # finally sets _stopped
+            self._stopped.wait(timeout=60.0)
+        else:
+            # never served (or already finished): just close the bind
+            try:
+                self._sock.close()
             except OSError:
                 pass
-        self._stopped.set()
+            if self.unix_path is not None:
+                try:
+                    Path(self.unix_path).unlink()
+                except OSError:
+                    pass
+            self._stopped.set()
+        if (self._thread is not None
+                and self._thread is not threading.current_thread()):
+            self._thread.join(timeout=30.0)
+
+    def _begin_drain(self) -> None:
+        if self._drain_evt is not None:
+            self._drain_evt.set()
 
     def __enter__(self) -> "SuggestServer":
         return self
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+    # -- the event loop ------------------------------------------------------
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._drain_evt = asyncio.Event()
+        if self._draining.is_set():     # shutdown raced serve start
+            self._drain_evt.set()
+        self._lanes = {name: _Lane(name, service)
+                       for name, service in self.services.items()}
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, len(self._lanes)),
+            thread_name_prefix="repro-serve-compute")
+        lane_tasks = [loop.create_task(self._lane_loop(lane),
+                                       name=f"repro-lane-{lane.name}")
+                      for lane in self._lanes.values()]
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._on_connect, sock=self._sock)
+        else:
+            server = await asyncio.start_server(
+                self._on_connect, sock=self._sock)
+        self._started.set()
+        try:
+            await self._drain_evt.wait()
+            server.close()              # stop accepting
+            await server.wait_closed()
+            # idle handlers exit at the drain signal; in-flight
+            # replies run to completion
+            if self._handler_tasks:
+                await asyncio.wait(set(self._handler_tasks),
+                                   timeout=_DRAIN_GRACE_S)
+        finally:
+            for task in list(self._handler_tasks):
+                task.cancel()
+            for task in lane_tasks:
+                task.cancel()
+            await asyncio.gather(*lane_tasks, return_exceptions=True)
+            for conn in list(self._conns):
+                conn.abort()
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            server.close()
 
     # -- construction helpers ------------------------------------------------
 
@@ -303,95 +544,157 @@ class SuggestServer:
             "max_frame_bytes": self.max_frame_bytes,
             "streaming": True,
             "server_side_paths": self.local_roots is not None,
+            "coalescing": True,
+            "queue_depth": self.queue_depth,
+            "batch_window_ms": self.batch_window_ms,
         }
 
     # -- connection protocol -------------------------------------------------
 
-    def _send(self, sock, wfile, message) -> bool:
-        """Write one frame; ``False`` when the client is gone.
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Drain one connection's outbox onto its socket.
 
-        Writes get their own, much longer timeout: the 0.5s idle poll
-        is drain bookkeeping, not a verdict on a client that applies a
-        second of TCP backpressure.  A client still stalled after
-        ``_WRITE_TIMEOUT_S`` is treated as gone.
+        A frame that cannot be flushed within ``_WRITE_TIMEOUT_S``
+        declares the client gone — backpressure from one slow reader
+        must never reach the compute rounds or other clients.
         """
         try:
-            sock.settimeout(_WRITE_TIMEOUT_S)
+            while True:
+                frame = await conn.outbox.get()
+                if frame is _CLOSE:
+                    return
+                conn.writer.write(frame)
+                await asyncio.wait_for(conn.writer.drain(),
+                                       _WRITE_TIMEOUT_S)
+        except (asyncio.TimeoutError, TimeoutError,
+                ConnectionError, OSError):
+            conn.dead = True
+        finally:
             try:
-                protocol.write_message(wfile, message,
-                                       self.max_frame_bytes)
-            finally:
-                sock.settimeout(_IDLE_POLL_S)
-            return True
-        except (BrokenPipeError, ConnectionResetError, OSError):
-            return False
+                if conn.dead:
+                    conn.writer.transport.abort()
+                else:
+                    conn.writer.close()
+            except Exception:
+                pass
 
-    def _read(self, reader: _FrameReader):
-        """Read one message, riding out idle-poll timeouts.
-
-        Returns the message, ``None`` on clean EOF, or raises
-        :class:`~repro.serve.protocol.ProtocolError`.  The reader
-        buffers partial frames across timeouts, so a slow sender is
-        waited on, never misread.  During a drain, the connection
-        closes at the next poll tick instead of waiting for its next
-        request.
-        """
-        while True:
-            try:
-                return reader.read_message()
-            except (socket.timeout, TimeoutError):
-                if self._draining.is_set():
-                    return None
-            except (ConnectionResetError, BrokenPipeError):
+    async def _read_message(self, conn: _Connection):
+        """One decoded message; ``None`` on clean EOF at a frame
+        boundary; :class:`~repro.serve.protocol.ProtocolError` on a
+        violation.  Slow senders are simply awaited — partial frames
+        survive any pause."""
+        try:
+            header = await conn.reader.readexactly(protocol.HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
                 return None
+            raise protocol.ProtocolError(
+                "bad-frame", "connection closed mid-frame") from exc
+        except ConnectionResetError:
+            return None
+        length = protocol.parse_frame_length(header, self.max_frame_bytes)
+        try:
+            body = await conn.reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise protocol.ProtocolError(
+                "bad-frame",
+                "connection closed between header and body") from exc
+        except ConnectionResetError:
+            return None
+        return protocol.decode_message(protocol.decode_frame_body(body))
 
-    def _handle_connection(self, sock, wfile) -> None:
-        reader = _FrameReader(sock, self.max_frame_bytes)
+    async def _read_or_drain(self, conn: _Connection):
+        """Read one message, or ``None`` once the server drains.
+
+        Between requests a connection parks here; a drain wakes it
+        immediately (no poll tick) and closes it cleanly.
+        """
+        if self._drain_evt.is_set():
+            return None
+        read = asyncio.ensure_future(self._read_message(conn))
+        drain = asyncio.ensure_future(self._drain_evt.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            drain.cancel()
+        if read in done:
+            return read.result()
+        read.cancel()
+        try:
+            await read
+        except (asyncio.CancelledError, protocol.ProtocolError,
+                ConnectionError, OSError):
+            pass
+        return None
+
+    async def _on_connect(self, reader, writer) -> None:
+        conn = _Connection(reader, writer, self.max_frame_bytes)
+        task = asyncio.current_task()
+        self._handler_tasks.add(task)
+        self._conns.add(conn)
+        sock = writer.get_extra_info("socket")
+        if (sock is not None
+                and sock.family != getattr(socket, "AF_UNIX", None)):
+            # small request/reply frames + Nagle + delayed ACK would
+            # add ~40ms to every warm round trip
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop(conn))
+        try:
+            await self._session(conn)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._handler_tasks.discard(task)
+            self._conns.discard(conn)
+            conn.close()
+
+    async def _session(self, conn: _Connection) -> None:
         # handshake: Hello in, HelloOk (or a refusal) out
         try:
-            hello = self._read(reader)
+            hello = await self._read_or_drain(conn)
         except protocol.ProtocolError as exc:
-            self._send(sock, wfile, protocol.Error(code=exc.code,
-                                                   message=str(exc)))
+            conn.send(protocol.Error(code=exc.code, message=str(exc)))
             return
         if hello is None:
             return
         if not isinstance(hello, protocol.Hello):
-            self._send(sock, wfile, protocol.Error(
+            conn.send(protocol.Error(
                 code="bad-request",
                 message=f"expected a hello frame first, "
                         f"got {hello.KIND!r}"))
             return
         if hello.protocol != protocol.PROTOCOL_VERSION:
-            self._send(sock, wfile, protocol.Error(
+            conn.send(protocol.Error(
                 code="protocol-mismatch",
                 message=f"server speaks protocol "
                         f"{protocol.PROTOCOL_VERSION}, client asked "
                         f"for {hello.protocol}"))
             return
-        if not self._send(sock, wfile, protocol.HelloOk(
+        if not conn.send(protocol.HelloOk(
                 server=self.server_id,
                 capabilities=self.capabilities())):
             return
 
         while True:
             try:
-                message = self._read(reader)
+                message = await self._read_or_drain(conn)
             except protocol.ProtocolError as exc:
                 # framing/schema violations poison the byte stream:
                 # report and close rather than guess at resync
-                self._send(sock, wfile, protocol.Error(code=exc.code,
-                                                 message=str(exc)))
+                conn.send(protocol.Error(code=exc.code,
+                                         message=str(exc)))
                 return
             if message is None or isinstance(message, protocol.Goodbye):
                 return
             if not isinstance(message, protocol.SuggestRequest):
-                self._send(sock, wfile, protocol.Error(
+                conn.send(protocol.Error(
                     code="bad-request",
                     message=f"cannot handle {message.KIND!r} frames "
                             f"here"))
                 return
-            if not self._serve_request(message, sock, wfile):
+            if not await self._serve_request(conn, message):
                 return
 
     def _check_local(self, path: Path) -> None:
@@ -438,81 +741,180 @@ class SuggestServer:
                     f"server cannot read {path}: {exc}") from exc
         return named
 
-    def _serve_request(self, request: protocol.SuggestRequest,
-                       sock, wfile) -> bool:
-        """Answer one suggest request; ``False`` closes the connection
+    async def _serve_request(self, conn: _Connection,
+                             request: protocol.SuggestRequest) -> bool:
+        """Admit one suggest request; ``False`` closes the connection
         (client vanished), request-level errors keep it open.
 
-        Streaming replies interleave sends with compute under the
-        bundle's lock — that is what delivers the first file before
-        the last one computes, at the cost of head-of-line blocking
-        behind a slow reader.  That blocking is bounded twice: per
-        frame by ``_WRITE_TIMEOUT_S``, and per request by
-        ``_REQUEST_WRITE_BUDGET_S`` of accumulated send stall, after
-        which the drip-feeding client is dropped like a dead one.
-        Batch replies release the lock before any reply bytes move.
+        Admission queues the request on its bundle's lane (refusing
+        with ``busy`` when the lane is full) and awaits the reply's
+        terminating frame — one request in flight per connection, many
+        per lane.
         """
-        if self._draining.is_set():
-            return self._send(sock, wfile, protocol.Error(
+        if self._drain_evt.is_set():
+            return conn.send(protocol.Error(
                 code="shutting-down",
                 message="server is draining; retry elsewhere"))
         name = request.bundle if request.bundle is not None else self.default
         service = self.services.get(name)
         if service is None:
-            return self._send(sock, wfile, protocol.Error(
+            return conn.send(protocol.Error(
                 code="unknown-bundle",
                 message=f"unknown bundle {name!r}; "
                         f"serving: {sorted(self.services)}"))
+        loop = asyncio.get_running_loop()
         try:
-            named = self._resolve_workload(request)
+            named = await loop.run_in_executor(
+                None, self._resolve_workload, request)
         except protocol.ProtocolError as exc:
-            return self._send(sock, wfile, protocol.Error(code=exc.code,
-                                                    message=str(exc)))
-        files = errors = 0
-        batch: list[protocol.FileResult] = []
-        write_budget = _REQUEST_WRITE_BUDGET_S
-        with self._locks[name]:
-            raw = service.stream_tagged(named, shards=request.shards)
-            tagged = raw
-            if request.ordered or not request.stream:
-                tagged = enumerate(merge_results(raw, ordered=True))
+            return conn.send(protocol.Error(code=exc.code,
+                                            message=str(exc)))
+        pending = _Pending(conn, request, named, service,
+                           loop.create_future())
+        if pending.total == 0:
+            pending.finish()
+            return not conn.dead
+        lane = self._lanes[name]
+        if len(lane.queue) >= self.queue_depth:
+            return conn.send(protocol.Error(
+                code="busy",
+                message=f"bundle {name!r} admission queue is full "
+                        f"({self.queue_depth} waiting requests); "
+                        f"retry shortly"))
+        lane.queue.append(pending)
+        lane.wake.set()
+        await pending.done
+        return not conn.dead
+
+    # -- micro-batching ------------------------------------------------------
+
+    async def _lane_loop(self, lane: _Lane) -> None:
+        """One bundle's micro-batcher: drain the admission queue into
+        coalesced rounds, one round in compute at a time."""
+        loop = asyncio.get_running_loop()
+        window_s = self.batch_window_ms / 1e3
+        while True:
+            if not lane.queue:
+                lane.idle = True
+                lane.wake.clear()
+                await lane.wake.wait()
+            self._prune_dead(lane)
+            if not lane.queue:
+                continue
+            if (lane.idle and window_s > 0 and len(self._conns) > 1
+                    and not self._drain_evt.is_set()):
+                # micro-batch window: a cold arrival waits for
+                # near-simultaneous requests from other clients to
+                # join this round.  Skipped with a single connection
+                # (flush-on-idle) and after a busy round (anything
+                # that queued during it has already coalesced).
+                deadline = loop.time() + window_s
+                while len(lane.queue) < len(self._conns):
+                    # early flush once every connected client has a
+                    # request queued — nobody is left for the window
+                    # to wait for
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    lane.wake.clear()
+                    try:
+                        await asyncio.wait_for(lane.wake.wait(),
+                                               remaining)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+                self._prune_dead(lane)
+            lane.idle = False
+            batch = self._take_round(lane)
+            if not batch:
+                continue
             try:
-                for index, fs in tagged:
-                    files += 1
-                    errors += fs.error is not None
-                    frame = protocol.FileResult(
-                        index=index, name=fs.name,
-                        payload=fs.to_payload())
-                    if not request.stream:
-                        batch.append(frame)
-                    else:
-                        sent_at = time.perf_counter()
-                        ok = self._send(sock, wfile, frame)
-                        write_budget -= time.perf_counter() - sent_at
-                        if not ok or write_budget <= 0:
-                            return False   # gone, or drip-feeding
+                await loop.run_in_executor(
+                    self._executor, self._compute_round, lane, batch)
+            except asyncio.CancelledError:
+                raise
             except Exception:
-                return self._send(sock, wfile, protocol.Error(
-                    code="serve-error",
-                    message=traceback.format_exc()))
-            finally:
-                close = getattr(raw, "close", None)
-                if close is not None:   # reap shard workers on abort
-                    close()
-        if not request.stream:
-            try:
-                sent = self._send(sock, wfile,
-                                  protocol.BatchResult(
-                                      files=tuple(batch)))
-            except protocol.ProtocolError as exc:
-                # the whole reply exceeds one frame; nothing has hit
-                # the wire (encode precedes write), so a clean error
-                # frame can still follow
-                return self._send(sock, wfile, protocol.Error(
-                    code="serve-error",
-                    message=f"batch reply too large for one frame "
-                            f"({exc}); request stream=True instead"))
-            if not sent:
-                return False
-        return self._send(sock, wfile, protocol.Done(
-            files=files, errors=errors, stats=service.cache_stats()))
+                tb = traceback.format_exc()
+                for pending, _ in batch:
+                    pending.fail("serve-error", tb)
+
+    def _prune_dead(self, lane: _Lane) -> None:
+        """Drop queued requests whose client already vanished."""
+        for pending in [p for p in lane.queue if p.conn.dead]:
+            lane.queue.remove(pending)
+            pending.cancel()
+
+    def _take_round(self, lane: _Lane) -> list[tuple[_Pending, list]]:
+        """Compose one compute round, round-robin across the queue.
+
+        Files are drawn one at a time from each waiting request in
+        turn, up to ``round_files`` total — so a bulk request is
+        chunked across rounds while every small request fits whole
+        into the next one.  Fully scheduled requests leave the queue
+        (their replies are still in flight); partially scheduled ones
+        keep their place at the front.
+        """
+        chunks: dict[_Pending, list] = {}
+        taken = 0
+        while taken < self.round_files:
+            progressed = False
+            for pending in list(lane.queue):
+                if taken >= self.round_files:
+                    break
+                item = pending.take()
+                if item is None:
+                    continue
+                chunks.setdefault(pending, []).append(item)
+                taken += 1
+                progressed = True
+            if not progressed:
+                break
+        for pending in [p for p in lane.queue if p.fully_scheduled]:
+            lane.queue.remove(pending)
+        return list(chunks.items())
+
+    def _compute_round(self, lane: _Lane,
+                       batch: list[tuple[_Pending, list]]) -> None:
+        """Run one coalesced round (compute thread; one per lane).
+
+        A single-request round keeps the per-request shard fan-out
+        (``request.shards`` / server config); a multi-request round is
+        joined through :meth:`SuggestionService.iter_joint` — one
+        in-process pipeline pass, one block-diagonal forward per
+        model, content-level dedup across clients.  Results are
+        handed back to the event loop per file as they complete.
+        """
+        loop = self._loop
+        service = lane.service
+        try:
+            if len(batch) == 1:
+                pending, files = batch[0]
+                indices = [i for i, _, _ in files]
+                named = [(name, source) for _, name, source in files]
+                results = service.stream_tagged(
+                    named, shards=pending.request.shards)
+                service._coalesce["rounds"] += 1
+                service._coalesce["requests"] += 1
+                try:
+                    for local_i, fs in results:
+                        loop.call_soon_threadsafe(
+                            pending.deliver, indices[local_i], fs)
+                finally:
+                    close = getattr(results, "close", None)
+                    if close is not None:   # reap shard workers
+                        close()
+            else:
+                workloads = []
+                for pending, files in batch:
+                    tag = (pending, [i for i, _, _ in files])
+                    workloads.append(
+                        (tag, [(name, source)
+                               for _, name, source in files]))
+                for tag, local_i, fs in service.iter_joint(workloads):
+                    pending, indices = tag
+                    loop.call_soon_threadsafe(
+                        pending.deliver, indices[local_i], fs)
+        except Exception:
+            tb = traceback.format_exc()
+            for pending, _ in batch:
+                loop.call_soon_threadsafe(
+                    pending.fail, "serve-error", tb)
