@@ -34,6 +34,7 @@ from pathlib import Path
 HEADLINES: dict[str, tuple[str, ...]] = {
     "BENCH_concurrency.json": ("throughput_speedup",),
     "BENCH_listen.json": ("speedup",),
+    "BENCH_rewrite.json": ("verify_efficiency",),
     "BENCH_serve.json": ("speedup", "end_to_end_speedup"),
     "BENCH_shard_scaling.json": ("speedup",),
     "BENCH_train.json": ("speedup",),

@@ -135,7 +135,13 @@ class Unparser:
             return f"{base}{sep}{e.member}"
         if isinstance(e, UnaryOperator):
             inner = self.expr(e.operand, _UNARY_PREC, "r")
-            text = f"{e.op}{inner}" if e.prefix else f"{inner}{e.op}"
+            if e.prefix:
+                # `-(-x)` must not fuse into `--x` (predecrement), nor
+                # `&(&x)` into `&&x`; a space keeps the lexemes apart.
+                sep = " " if inner.startswith(e.op[-1]) else ""
+                text = f"{e.op}{sep}{inner}"
+            else:
+                text = f"{inner}{e.op}"
             return f"({text})" if parent_prec > _UNARY_PREC else text
         if isinstance(e, BinaryOperator):
             prec = _PRECEDENCE[e.op]

@@ -377,6 +377,224 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def rewrite_dir_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro rewrite-dir",
+        description="Apply suggested OpenMP pragmas as verified "
+                    "source-to-source rewrites for every C file under "
+                    "a directory. Each accepted loop gets its complete "
+                    "clause list; every transform is gated by "
+                    "differential execution (sequential vs simulated-"
+                    "parallel) and refused with a stable reason code "
+                    "on divergence.",
+    )
+    parser.add_argument("directory", help="directory of C files")
+    parser.add_argument("--pattern", default="*.c",
+                        help="glob for source files (default: *.c)")
+    parser.add_argument("--verify", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="gate every rewrite on the interpreter "
+                             "verifier (default: on; --no-verify "
+                             "accepts analyzable loops unchecked, "
+                             "reported with code 'unverified')")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="rewrite through a running `repro serve` "
+                             "daemon at HOST:PORT or unix:/path.sock "
+                             "instead of building models in-process; "
+                             "results are byte-identical")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parse-stage worker processes (1 = in-process)")
+    parser.add_argument("--shards", type=_shards_arg, default=None,
+                        help="end-to-end corpus shards for the "
+                             "suggestion stage (1 = in-process, 'auto' "
+                             "picks a count; with --server, overrides "
+                             "the daemon's per-request fan-out)")
+    parser.add_argument("--stream", action="store_true",
+                        help="emit one NDJSON record per file on stdout "
+                             "as results complete, then a final "
+                             '{"event": "done", ...} summary record '
+                             "(the human-readable summary goes to "
+                             "stderr)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="graphs per forward pass")
+    parser.add_argument("--bundle", default=None,
+                        help="serve a trained bundle saved by "
+                             "`repro train --bundle-out`; default trains "
+                             "fast-profile models on the fly; with "
+                             "--server, the *name* of a bundle the "
+                             "daemon serves")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent suggestion cache shared with "
+                             "suggest-dir: warm runs skip parsing and "
+                             "inference for the suggestion stage "
+                             "(ignored with --server)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="training-set scale for the on-the-fly models")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--out", default=None,
+                        help="write rewrite results (including the full "
+                             "rewritten sources) to this JSON file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-loop output")
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.serve import ServeError
+
+    client = None
+    service = None
+    if args.server:
+        from repro.client import ClientError, connect
+
+        ignored = [
+            flag for flag, value, default in (
+                ("--workers", args.workers, 1),
+                ("--batch-size", args.batch_size, 256),
+                ("--cache-dir", args.cache_dir, None),
+                ("--scale", args.scale, 0.02),
+                ("--seed", args.seed, 7),
+                ("--epochs", args.epochs, 4),
+                ("--dim", args.dim, 32),
+            ) if value != default
+        ]
+        if ignored:
+            print(f"note: {', '.join(ignored)} are ignored with "
+                  f"--server — the daemon's own models and config "
+                  f"serve the request", file=sys.stderr)
+        try:
+            client = connect(args.server)
+        except (ClientError, OSError) as exc:
+            print(f"cannot reach server {args.server}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not client.capabilities.get("rewrite"):
+            print(f"server at {args.server} does not support rewrite "
+                  f"requests (older daemon?)", file=sys.stderr)
+            client.close()
+            return 2
+        if args.bundle and args.bundle not in client.bundles():
+            print(f"server at {args.server} does not serve bundle "
+                  f"{args.bundle!r} (available: {client.bundles()})",
+                  file=sys.stderr)
+            client.close()
+            return 2
+    else:
+        from repro.serve import ServeConfig, build_service
+
+        serve_config = ServeConfig(
+            workers=args.workers, batch_size=args.batch_size,
+            shards=args.shards if args.shards is not None else 1)
+        if args.bundle:
+            from repro.artifacts import ArtifactError, SuggesterBundle
+
+            try:
+                bundle = SuggesterBundle.load(args.bundle)
+            except ArtifactError as exc:
+                print(f"cannot load bundle: {exc}", file=sys.stderr)
+                return 2
+            print(f"loaded {bundle.describe()}",
+                  file=sys.stderr if args.stream else sys.stdout)
+            service = build_service(bundle, serve_config,
+                                    cache_dir=args.cache_dir)
+        else:
+            from repro.eval.config import ExperimentConfig
+            from repro.eval.context import get_context
+
+            ctx = get_context(ExperimentConfig(
+                scale=args.scale, seed=args.seed, epochs=args.epochs,
+                dim=args.dim,
+            ))
+            service = build_service(ctx, serve_config,
+                                    cache_dir=args.cache_dir)
+
+    def _record(r) -> dict:
+        return {
+            "file": r.name,
+            "error": r.error,
+            "rewrites": [rw.to_dict() for rw in r.rewrites],
+            "rewritten_source": r.rewritten_source,
+        }
+
+    paths = sorted(Path(args.directory).rglob(args.pattern))
+    summary_out = sys.stderr if args.stream else sys.stdout
+    start = time.perf_counter()
+    try:
+        if args.stream:
+            results = []
+            stream = (
+                client.stream_rewrite_paths(
+                    paths, bundle=args.bundle, ordered=False,
+                    verify=args.verify, shards=args.shards)
+                if client is not None
+                else service.stream_rewrite_paths(
+                    paths, ordered=False, verify=args.verify)
+            )
+            for r in stream:
+                _ndjson_record(_record(r))
+                results.append(r)
+            by_name = {r.name: r for r in results}
+            results = [by_name[str(p)] for p in paths]
+            _ndjson_record({
+                "event": "done",
+                "files": len(results),
+                "loops": sum(len(r.rewrites) for r in results),
+                "accepted": sum(r.n_accepted for r in results),
+                "refused": sum(r.n_refused for r in results),
+                "errors": sum(1 for r in results if r.error),
+                "elapsed_s": round(time.perf_counter() - start, 3),
+            })
+        elif client is not None:
+            results = client.rewrite_paths(paths, bundle=args.bundle,
+                                           verify=args.verify,
+                                           shards=args.shards)
+        else:
+            results = service.rewrite_paths(paths, verify=args.verify)
+    except ServeError as exc:
+        print(f"rewriting failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if client is not None:
+            client.close()
+    elapsed = time.perf_counter() - start
+    if not results:
+        print(f"no files matching {args.pattern!r} under {args.directory}",
+              file=summary_out)
+        return 1
+
+    n_loops = sum(len(r.rewrites) for r in results)
+    n_accepted = sum(r.n_accepted for r in results)
+    n_refused = sum(r.n_refused for r in results)
+    n_errors = sum(1 for r in results if r.error)
+    if not args.stream:              # per-file records already emitted
+        for r in results:
+            if r.error:
+                print(f"{r.name}: SKIPPED ({r.error})")
+                continue
+            print(f"{r.name}: {len(r.rewrites)} loops, "
+                  f"{r.n_accepted} rewritten, {r.n_refused} refused")
+            if not args.quiet:
+                for rw in r.rewrites:
+                    if rw.accepted:
+                        print(f"  [{rw.code}] {rw.pragma}")
+                    else:
+                        print(f"  [{rw.code}] {rw.detail}"
+                              if rw.detail else f"  [{rw.code}]")
+    rate = n_loops / elapsed if elapsed > 0 else float("inf")
+    print(f"{n_loops} loops across {len(results)} files: "
+          f"{n_accepted} rewritten, {n_refused} refused "
+          f"({n_errors} unparseable) in {elapsed:.2f}s "
+          f"({rate:.0f} loops/s)", file=summary_out)
+    if args.out:
+        payload = [_record(r) for r in results]
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"rewrites written to {args.out}")
+    return 0
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
@@ -676,6 +894,7 @@ _COMMANDS = {
     "train": train_main,
     "eval": eval_main,
     "suggest-dir": suggest_dir_main,
+    "rewrite-dir": rewrite_dir_main,
     "serve": serve_main,
     "bundle": bundle_main,
     "cache": cache_main,

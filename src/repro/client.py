@@ -26,6 +26,7 @@ import socket
 from collections.abc import Iterator
 from pathlib import Path
 
+from repro.rewrite import FileRewrite
 from repro.serve import protocol
 from repro.serve.pipeline import FileSuggestions
 from repro.serve.stream import ServeError
@@ -205,7 +206,7 @@ class Client:
         self._pending = True
 
     def _stream(self, request: protocol.SuggestRequest,
-                ) -> Iterator[FileSuggestions]:
+                revive=FileSuggestions.from_payload) -> Iterator:
         self._request(request)
         while True:
             message = self._read()
@@ -217,11 +218,10 @@ class Client:
                 raise ClientError(
                     f"unexpected {message.KIND!r} frame inside a "
                     f"streaming reply", code="bad-reply")
-            yield FileSuggestions.from_payload(message.name,
-                                               message.payload)
+            yield revive(message.name, message.payload)
 
     def _batch(self, request: protocol.SuggestRequest,
-               ) -> list[FileSuggestions]:
+               revive=FileSuggestions.from_payload) -> list:
         self._request(request)
         message = self._read()
         if not isinstance(message, protocol.BatchResult):
@@ -236,8 +236,7 @@ class Client:
         self.last_done = done
         self._pending = False
         ordered = sorted(message.files, key=lambda f: f.index)
-        return [FileSuggestions.from_payload(f.name, f.payload)
-                for f in ordered]
+        return [revive(f.name, f.payload) for f in ordered]
 
     def stream_sources(
         self, named_sources: list[tuple[str, str]], *,
@@ -300,6 +299,88 @@ class Client:
                     ) -> list[FileSuggestions]:
         paths = sorted(Path(directory).rglob(pattern))
         return self.suggest_paths(paths, bundle=bundle, shards=shards)
+
+    # -- verified rewrites (mirrors SuggestionService.rewrite_*) -------------
+
+    def _require_rewrite(self) -> None:
+        if not self.capabilities.get("rewrite"):
+            raise ClientError(
+                "server does not advertise the 'rewrite' capability "
+                "(older daemon?)", code="rewrite-unsupported")
+
+    def stream_rewrite_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        bundle: str | None = None, ordered: bool = True,
+        verify: bool = True, shards: int | str | None = None,
+    ) -> Iterator[FileRewrite]:
+        """Stream verified rewrites for ``(name, source)`` pairs.
+
+        Mirrors :meth:`SuggestionService.stream_rewrite_sources`; the
+        server suggests over its warm store, applies each file's
+        suggestions as interpreter-verified AST rewrites, and streams
+        :class:`~repro.rewrite.FileRewrite` results back — byte-
+        identical to running the rewrite pass locally.
+        """
+        self._require_rewrite()
+        named = tuple((str(name), source)
+                      for name, source in named_sources)
+        return self._stream(
+            protocol.RewriteRequest(sources=named, bundle=bundle,
+                                    ordered=ordered, stream=True,
+                                    shards=shards, verify=verify),
+            revive=FileRewrite.from_payload)
+
+    def rewrite_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        bundle: str | None = None, verify: bool = True,
+        shards: int | str | None = None,
+    ) -> list[FileRewrite]:
+        """Batch rewrite reply in input order."""
+        self._require_rewrite()
+        named = tuple((str(name), source)
+                      for name, source in named_sources)
+        return self._batch(
+            protocol.RewriteRequest(sources=named, bundle=bundle,
+                                    ordered=True, stream=False,
+                                    shards=shards, verify=verify),
+            revive=FileRewrite.from_payload)
+
+    def stream_rewrite_paths(self, paths, *, bundle: str | None = None,
+                             ordered: bool = True, verify: bool = True,
+                             shards: int | str | None = None,
+                             ) -> Iterator[FileRewrite]:
+        named = [(str(p), Path(p).read_text(encoding="utf-8"))
+                 for p in paths]
+        return self.stream_rewrite_sources(named, bundle=bundle,
+                                           ordered=ordered,
+                                           verify=verify, shards=shards)
+
+    def stream_rewrite_dir(self, directory, pattern: str = "*.c", *,
+                           bundle: str | None = None,
+                           ordered: bool = True, verify: bool = True,
+                           shards: int | str | None = None,
+                           ) -> Iterator[FileRewrite]:
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.stream_rewrite_paths(paths, bundle=bundle,
+                                         ordered=ordered, verify=verify,
+                                         shards=shards)
+
+    def rewrite_paths(self, paths, *, bundle: str | None = None,
+                      verify: bool = True,
+                      shards: int | str | None = None,
+                      ) -> list[FileRewrite]:
+        named = [(str(p), Path(p).read_text(encoding="utf-8"))
+                 for p in paths]
+        return self.rewrite_sources(named, bundle=bundle, verify=verify,
+                                    shards=shards)
+
+    def rewrite_dir(self, directory, pattern: str = "*.c", *,
+                    bundle: str | None = None, verify: bool = True,
+                    shards: int | str | None = None,
+                    ) -> list[FileRewrite]:
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.rewrite_paths(paths, bundle=bundle, verify=verify,
+                                  shards=shards)
 
     # -- server-side paths (daemon colocated with the corpus) ----------------
 

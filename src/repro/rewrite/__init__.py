@@ -1,0 +1,38 @@
+"""From advice to transformation: verified OpenMP pragma rewriting.
+
+``repro.rewrite`` turns the serving stack's :class:`~repro.suggest.Suggestion`s
+into applied source-to-source transforms.  :mod:`clauses` grounds each
+predicted-parallel loop in the dependence analyses and synthesizes the
+complete clause list; :mod:`verify` differentially executes the loop —
+sequentially and under simulated-parallel schedules with per-thread
+privatized state — and refuses on any observable divergence; and
+:mod:`engine` applies accepted pragmas to the AST and unparses
+round-trippable C.
+"""
+
+from repro.rewrite.clauses import ClausePlan, PlanError, plan_clauses
+from repro.rewrite.engine import (
+    ACCEPT_CODES,
+    REFUSAL_CODES,
+    FileRewrite,
+    LoopRewrite,
+    rewrite_file,
+    rewrite_loop,
+)
+from repro.rewrite.verify import DEFAULT_CONFIG, Verdict, VerifyConfig, verify_loop
+
+__all__ = [
+    "ACCEPT_CODES",
+    "REFUSAL_CODES",
+    "ClausePlan",
+    "DEFAULT_CONFIG",
+    "FileRewrite",
+    "LoopRewrite",
+    "PlanError",
+    "Verdict",
+    "VerifyConfig",
+    "plan_clauses",
+    "rewrite_file",
+    "rewrite_loop",
+    "verify_loop",
+]

@@ -1,0 +1,154 @@
+"""Clause synthesis for pragma rewriting.
+
+The serving stack predicts *clause families* ("this loop wants a
+reduction"); the rewriter needs *clause lists* ("``reduction(+:total)
+firstprivate(alpha)``").  :func:`plan_clauses` grounds a loop in the
+static analyses — :func:`repro.tools.deps.analyze_loop` for the scalar
+classification, :func:`repro.tools.canonical.recognize_canonical` for
+the iteration space — and emits a :class:`ClausePlan`: the complete,
+deterministic data-sharing story the verifier simulates and the pragma
+renders.
+
+Synthesis is refused (``PlanError``) when no legal clause list exists:
+
+- ``non-canonical`` — not a canonical ``for`` loop (OpenMP worksharing
+  requires one, and the verifier could not enumerate iterations);
+- ``shared-scalar`` — a scalar is written in a way that is neither a
+  recognised reduction nor privatizable; every iteration order would
+  race on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfront.nodes import Stmt
+from repro.tools.canonical import CanonicalLoop, recognize_canonical
+from repro.tools.deps import LoopDeps, _inner_loop_vars, analyze_loop
+
+
+class PlanError(Exception):
+    """No legal clause list exists for this loop.
+
+    ``code`` is a stable refusal code (``non-canonical`` /
+    ``shared-scalar``) that flows unchanged to CLI output and the wire.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class ClausePlan:
+    """The complete data-sharing plan for one ``parallel for`` rewrite.
+
+    Every list is sorted and deduplicated, so two parses of the same
+    loop produce byte-identical pragmas.  ``local_decls`` and
+    ``inner_vars`` are not clauses (block-scoped declarations are
+    implicitly private; inner induction variables land in ``private``)
+    but the verifier needs them to decide what is observable after the
+    region.
+    """
+
+    var: str                                   # induction variable
+    reductions: tuple[tuple[str, str], ...]    # (op, var) pairs
+    private: tuple[str, ...]
+    firstprivate: tuple[str, ...]
+    lastprivate: tuple[str, ...]
+    local_decls: tuple[str, ...]
+    inner_vars: tuple[str, ...]
+
+    def clauses(self) -> list[str]:
+        """The rendered clause list, in canonical order."""
+        out: list[str] = []
+        by_op: dict[str, list[str]] = {}
+        for op, var in self.reductions:
+            by_op.setdefault(op, []).append(var)
+        for op in sorted(by_op):
+            out.append(f"reduction({op}:{', '.join(sorted(by_op[op]))})")
+        if self.private:
+            out.append(f"private({', '.join(self.private)})")
+        if self.firstprivate:
+            out.append(f"firstprivate({', '.join(self.firstprivate)})")
+        if self.lastprivate:
+            out.append(f"lastprivate({', '.join(self.lastprivate)})")
+        return out
+
+    def pragma(self) -> str:
+        """The full ``#pragma omp parallel for ...`` line."""
+        parts = ["#pragma omp parallel for"] + self.clauses()
+        return " ".join(parts)
+
+    @property
+    def reduction_vars(self) -> tuple[str, ...]:
+        return tuple(var for _, var in self.reductions)
+
+
+def plan_clauses(loop: Stmt, live_out: frozenset[str] = frozenset(),
+                 deps: LoopDeps | None = None) -> ClausePlan:
+    """Synthesize the clause plan for one loop, or raise :class:`PlanError`.
+
+    ``live_out`` lists scalars read after the loop in its enclosing
+    function: privatizable scalars in that set become ``lastprivate``
+    (plain privatization would drop their final value), and a live-out
+    induction variable — implicitly private under OpenMP, its original
+    unspecified after the region — must be ``lastprivate`` too.
+
+    ``deps`` may carry a precomputed analysis (it is memoized anyway);
+    conditional reductions are accepted, matching the suggester's
+    idealised-oracle composition path.
+    """
+    if deps is None:
+        deps = analyze_loop(loop, conditional_reductions=True)
+    canonical: CanonicalLoop | None = deps.canonical
+    if canonical is None:
+        # the memoized deps must stay read-only, but canonical caches the
+        # analyzed loop object; recompute for the exact statement given
+        canonical = recognize_canonical(loop)
+    if canonical is None:
+        raise PlanError("non-canonical",
+                        "loop is not in canonical form "
+                        "(for (i = lb; i < ub; i += step) with an "
+                        "unmodified induction variable)")
+    if deps.shared_scalar_writes:
+        shared = ", ".join(sorted(deps.shared_scalar_writes))
+        raise PlanError("shared-scalar",
+                        f"scalar write(s) to {shared} are neither a "
+                        f"reduction nor privatizable")
+
+    body = getattr(loop, "body", loop)
+    local_decls = frozenset(deps.summary.local_decls)
+    inner_vars = frozenset(_inner_loop_vars(body)) - {canonical.var}
+    reduction_vars = {r.var for r in deps.reductions}
+
+    # Privatizable scalars declared outside the loop; inner induction
+    # variables reusing outer declarations must be privatized too.
+    privatizable = (deps.privatizable - local_decls) | (inner_vars
+                                                       - local_decls)
+    lastprivate = sorted(privatizable & live_out)
+    private = sorted(privatizable - live_out)
+    if canonical.var in live_out:
+        lastprivate = sorted(set(lastprivate) | {canonical.var})
+
+    # Read-only scalars referenced in the body: every access is a
+    # scalar read — array bases, written names and anything already
+    # claimed by another clause are excluded.
+    claimed = (set(private) | set(lastprivate) | reduction_vars
+               | local_decls | inner_vars | {canonical.var})
+    firstprivate = sorted(
+        name for name in deps.summary.bases()
+        if name not in claimed
+        and all(a.is_scalar and not a.is_write
+                for a in deps.summary.accesses if a.base == name)
+    )
+    return ClausePlan(
+        var=canonical.var,
+        reductions=tuple(sorted((r.op, r.var) for r in deps.reductions)),
+        private=tuple(private),
+        firstprivate=tuple(firstprivate),
+        lastprivate=tuple(lastprivate),
+        local_decls=tuple(sorted(local_decls)),
+        inner_vars=tuple(sorted(inner_vars)),
+    )

@@ -1,0 +1,233 @@
+"""The rewrite pass: suggestions in, verified transformed C out.
+
+:func:`rewrite_file` consumes one file's :class:`FileSuggestions` (from
+any serving path — in-process, sharded, daemon), re-parses the file,
+aligns every suggestion with its outermost loop (the same
+function-by-function walk :func:`repro.suggest.file_requests` uses),
+and for each predicted-parallel loop: synthesizes the clause plan
+(:mod:`repro.rewrite.clauses`), verifies it against the interpreter
+(:mod:`repro.rewrite.verify`), and — only on acceptance — attaches the
+pragma to the AST.  The result carries per-loop outcomes plus the
+whole transformed file unparsed as round-trippable C.
+
+Every outcome has a stable ``code``:
+
+===================== =====================================================
+``verified``          accepted; sequential and simulated-parallel agree
+``unverified``        accepted without verification (``verify=False``)
+``not-parallel``      the model kept the loop sequential (not a refusal)
+``unparseable``       the snippet does not parse (bare-loop path)
+``misaligned``        suggestions do not line up with the file's loops
+``non-canonical``     no enumerable iteration space
+``shared-scalar``     a scalar write no clause can legalise
+``divergence``        observable state differs across schedules
+``unsupported-construct`` the interpreter cannot execute the loop
+``budget-exceeded``   the execution budget ran out
+``no-iterations``     zero-trip runs verified nothing
+===================== =====================================================
+
+The pass is deterministic end to end (fixed seeds, sorted clause
+lists), so daemon-served rewrites are byte-identical to in-process
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.analysis import scalars_read_after
+from repro.cfront import LexError, ParseError, parse_source, unparse
+from repro.cfront.parser import parse_loop
+from repro.dataset.extract import _outermost_loops
+from repro.rewrite.clauses import PlanError, plan_clauses
+from repro.rewrite.verify import VerifyConfig, verify_loop
+
+#: codes of accepted rewrites
+ACCEPT_CODES = ("verified", "unverified")
+#: stable refusal codes (shared with the verifier and the wire)
+REFUSAL_CODES = ("not-parallel", "unparseable", "misaligned",
+                 "non-canonical", "shared-scalar", "divergence",
+                 "unsupported-construct", "budget-exceeded",
+                 "no-iterations")
+
+
+@dataclass
+class LoopRewrite:
+    """The outcome of rewriting one loop."""
+
+    loop_source: str
+    accepted: bool
+    code: str
+    pragma: str | None = None
+    rewritten: str | None = None      # pragma + loop, round-trippable C
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_source": self.loop_source,
+            "accepted": self.accepted,
+            "code": self.code,
+            "pragma": self.pragma,
+            "rewritten": self.rewritten,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopRewrite":
+        return cls(
+            loop_source=data["loop_source"],
+            accepted=bool(data["accepted"]),
+            code=data["code"],
+            pragma=data.get("pragma"),
+            rewritten=data.get("rewritten"),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class FileRewrite:
+    """All rewrite outcomes for one file (or its frontend error)."""
+
+    name: str
+    rewrites: list[LoopRewrite] = field(default_factory=list)
+    rewritten_source: str | None = None
+    error: str | None = None
+
+    @property
+    def n_accepted(self) -> int:
+        return sum(r.accepted for r in self.rewrites)
+
+    @property
+    def n_refused(self) -> int:
+        return sum(not r.accepted and r.code != "not-parallel"
+                   for r in self.rewrites)
+
+    def to_payload(self) -> dict:
+        """JSON-safe payload (minus the name, matching the
+        :class:`~repro.serve.pipeline.FileSuggestions` convention)."""
+        return {
+            "error": self.error,
+            "rewritten_source": self.rewritten_source,
+            "rewrites": [r.to_dict() for r in self.rewrites],
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "FileRewrite":
+        return cls(
+            name=name,
+            rewrites=[LoopRewrite.from_dict(d)
+                      for d in payload["rewrites"]],
+            rewritten_source=payload["rewritten_source"],
+            error=payload["error"],
+        )
+
+
+def _strip_unparse(loop) -> str:
+    """The loop's source without its pragmas — the form suggestions
+    (and the dataset extractor) describe loops in."""
+    saved = loop.pragmas
+    loop.pragmas = []
+    try:
+        return unparse(loop)
+    finally:
+        loop.pragmas = saved
+
+
+def _attempt(loop, loop_source: str, live_out: frozenset[str],
+             verify: bool, config: VerifyConfig | None) -> LoopRewrite:
+    """Plan, verify, and (on acceptance) attach the pragma to ``loop``."""
+    try:
+        plan = plan_clauses(loop, live_out)
+    except PlanError as exc:
+        return LoopRewrite(loop_source=loop_source, accepted=False,
+                           code=exc.code, detail=exc.detail)
+    if verify:
+        verdict = verify_loop(loop, plan, config)
+        if not verdict.ok:
+            return LoopRewrite(loop_source=loop_source, accepted=False,
+                               code=verdict.code, detail=verdict.detail)
+        code, detail = "verified", verdict.detail
+    else:
+        code, detail = "unverified", "verification disabled"
+    pragma = plan.pragma()
+    # replace any pre-existing pragma: the rewrite owns this loop now
+    loop.pragmas = [pragma.lstrip("#")]
+    return LoopRewrite(loop_source=loop_source, accepted=True, code=code,
+                       pragma=pragma, rewritten=unparse(loop),
+                       detail=detail)
+
+
+def rewrite_loop(loop_source: str,
+                 live_out: frozenset[str] = frozenset(), *,
+                 verify: bool = True,
+                 config: VerifyConfig | None = None) -> LoopRewrite:
+    """Rewrite one bare loop snippet (no model in the loop: the caller
+    asserts parallel intent; analysis and the verifier gate it)."""
+    try:
+        loop = parse_loop(loop_source)
+    except (LexError, ParseError) as exc:
+        return LoopRewrite(loop_source=loop_source, accepted=False,
+                           code="unparseable", detail=str(exc))
+    loop.pragmas = []
+    return _attempt(loop, loop_source, frozenset(live_out),
+                    verify=verify, config=config)
+
+
+def rewrite_file(name: str, source: str, file_suggestions, *,
+                 verify: bool = True,
+                 config: VerifyConfig | None = None) -> FileRewrite:
+    """Apply one file's suggestions as verified AST rewrites.
+
+    ``file_suggestions`` is a
+    :class:`~repro.serve.pipeline.FileSuggestions` (or anything with
+    ``suggestions`` / ``error``).  Suggestions align with the file's
+    outermost loops in extraction order; a mismatch refuses with
+    ``misaligned`` rather than guessing.  The returned
+    ``rewritten_source`` is the whole file with accepted pragmas
+    attached — refused and sequential loops keep their original text.
+    """
+    error = getattr(file_suggestions, "error", None)
+    suggestions = getattr(file_suggestions, "suggestions",
+                          file_suggestions)
+    if error is not None:
+        return FileRewrite(name=name, error=error)
+    try:
+        tu = parse_source(source)
+    except (LexError, ParseError) as exc:
+        return FileRewrite(name=name, error=str(exc))
+    located: list[tuple[object, object]] = []      # (function, loop)
+    for fn in tu.functions():
+        if fn.body is None:
+            continue
+        for loop in _outermost_loops(fn.body):
+            located.append((fn, loop))
+    if len(located) != len(suggestions):
+        detail = (f"file has {len(located)} outermost loops but "
+                  f"{len(suggestions)} suggestions")
+        return FileRewrite(
+            name=name,
+            rewrites=[LoopRewrite(loop_source=s.loop_source,
+                                  accepted=False, code="misaligned",
+                                  detail=detail)
+                      for s in suggestions],
+            rewritten_source=unparse(tu),
+        )
+    rewrites: list[LoopRewrite] = []
+    for (fn, loop), suggestion in zip(located, suggestions):
+        if not suggestion.parallel:
+            rewrites.append(LoopRewrite(
+                loop_source=suggestion.loop_source, accepted=False,
+                code="not-parallel", detail=suggestion.rationale))
+            continue
+        if _strip_unparse(loop) != suggestion.loop_source:
+            rewrites.append(LoopRewrite(
+                loop_source=suggestion.loop_source, accepted=False,
+                code="misaligned",
+                detail="suggestion does not describe the loop at this "
+                       "position"))
+            continue
+        live_out = frozenset(scalars_read_after(fn.body, loop))
+        rewrites.append(_attempt(loop, suggestion.loop_source, live_out,
+                                 verify=verify, config=config))
+    return FileRewrite(name=name, rewrites=rewrites,
+                       rewritten_source=unparse(tu))

@@ -437,6 +437,82 @@ class SuggestionService:
         return list(self.stream_dir(directory, pattern=pattern,
                                     ordered=True))
 
+    # -- rewriting -----------------------------------------------------------
+
+    def stream_rewrite_tagged(
+        self, named_sources: list[tuple[str, str]], *,
+        verify: bool = True, shards: int | str | None = None,
+        rewrite_config=None,
+    ) -> Iterator[tuple[int, "FileRewrite"]]:
+        """``(input_index, FileRewrite)`` pairs in completion order.
+
+        Each file's suggestions come off :meth:`stream_tagged` — the
+        same store/dedup/sharding path as plain suggesting, so cached
+        suggestions still skip parse and inference — and are applied as
+        verified AST rewrites by :func:`repro.rewrite.rewrite_file` the
+        moment they complete.  The rewrite pass is deterministic, so
+        results are byte-identical across shard counts, orderings, and
+        the daemon path.
+        """
+        from repro.rewrite import rewrite_file
+
+        named = list(named_sources)
+        for i, fs in self.stream_tagged(named, shards=shards):
+            yield i, rewrite_file(named[i][0], named[i][1], fs,
+                                  verify=verify, config=rewrite_config)
+
+    def stream_rewrite_sources(
+        self, named_sources: list[tuple[str, str]], *,
+        ordered: bool = True, verify: bool = True,
+        shards: int | str | None = None,
+    ) -> Iterator["FileRewrite"]:
+        """Stream verified rewrites for many ``(name, source)`` pairs."""
+        from repro.serve.stream import merge_results
+
+        return merge_results(
+            self.stream_rewrite_tagged(named_sources, verify=verify,
+                                       shards=shards),
+            ordered=ordered)
+
+    def stream_rewrite_paths(self, paths, *, ordered: bool = True,
+                             verify: bool = True,
+                             shards: int | None = None):
+        named = [
+            (str(path), Path(path).read_text(encoding="utf-8"))
+            for path in paths
+        ]
+        return self.stream_rewrite_sources(named, ordered=ordered,
+                                           verify=verify, shards=shards)
+
+    def stream_rewrite_dir(self, directory, pattern: str = "*.c", *,
+                           ordered: bool = True, verify: bool = True,
+                           shards: int | None = None):
+        """Stream rewrites for every ``pattern`` file under
+        ``directory`` as they complete."""
+        paths = sorted(Path(directory).rglob(pattern))
+        return self.stream_rewrite_paths(paths, ordered=ordered,
+                                         verify=verify, shards=shards)
+
+    def rewrite_sources(self, named_sources: list[tuple[str, str]], *,
+                        verify: bool = True) -> list["FileRewrite"]:
+        """Verified rewrites for many ``(name, source)`` pairs,
+        collected in input order."""
+        return list(self.stream_rewrite_sources(named_sources,
+                                                ordered=True,
+                                                verify=verify))
+
+    def rewrite_paths(self, paths, *, verify: bool = True,
+                      ) -> list["FileRewrite"]:
+        return list(self.stream_rewrite_paths(paths, ordered=True,
+                                              verify=verify))
+
+    def rewrite_dir(self, directory, pattern: str = "*.c", *,
+                    verify: bool = True) -> list["FileRewrite"]:
+        """Verified rewrites for every ``pattern`` file under
+        ``directory``."""
+        return list(self.stream_rewrite_dir(directory, pattern=pattern,
+                                            ordered=True, verify=verify))
+
     # -- sharding support ----------------------------------------------------
 
     def _worker_spec(self):

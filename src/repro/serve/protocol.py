@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import json
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 #: bump on incompatible changes to any frame shape
 PROTOCOL_VERSION = 1
@@ -294,6 +294,7 @@ class SuggestRequest:
 
     @classmethod
     def from_wire(cls, payload: dict) -> "SuggestRequest":
+        kind = payload.get("kind", cls.KIND)
         raw = _get(payload, "sources", list, default=[])
         sources = []
         for i, pair in enumerate(raw):
@@ -301,31 +302,31 @@ class SuggestRequest:
                     or not all(isinstance(p, str) for p in pair)):
                 raise ProtocolError(
                     "bad-request",
-                    f"suggest.sources[{i}] must be a [name, source] "
+                    f"{kind}.sources[{i}] must be a [name, source] "
                     f"pair of strings",
                 )
             sources.append((pair[0], pair[1]))
         paths = _get(payload, "paths", list, default=[])
         if not all(isinstance(p, str) for p in paths):
             raise ProtocolError("bad-request",
-                                "suggest.paths must be strings")
+                                f"{kind}.paths must be strings")
         directory = _get(payload, "dir", str, default=None)
         modes = sum((bool(sources), bool(paths), directory is not None))
         if modes > 1:
             raise ProtocolError(
                 "bad-request",
-                "suggest uses exactly one of sources / paths / dir",
+                f"{kind} uses exactly one of sources / paths / dir",
             )
         shards = _get(payload, "shards", (int, str), default=None)
         if isinstance(shards, str) and shards != "auto":
             raise ProtocolError(
                 "bad-request",
-                f"suggest.shards must be an int, 'auto' or null, "
+                f"{kind}.shards must be an int, 'auto' or null, "
                 f"got {shards!r}",
             )
         if isinstance(shards, int) and shards < 0:
             raise ProtocolError("bad-request",
-                                "suggest.shards must be >= 0")
+                                f"{kind}.shards must be >= 0")
         return cls(
             sources=tuple(sources),
             paths=tuple(paths),
@@ -336,6 +337,37 @@ class SuggestRequest:
             stream=_get(payload, "stream", bool, default=True),
             shards=shards,
         )
+
+
+@dataclass(frozen=True)
+class RewriteRequest(SuggestRequest):
+    """Client → server: apply suggestions as verified AST rewrites.
+
+    Addressing, ``bundle``, ``ordered``/``stream`` and ``shards`` all
+    behave exactly as on :class:`SuggestRequest`; the reply uses the
+    same :class:`FileResult`/:class:`BatchResult`/:class:`Done` frames,
+    with ``payload`` carrying ``FileRewrite.to_payload()`` instead.
+    ``verify=False`` skips the interpreter gate (rewrites come back
+    with code ``unverified``).
+
+    An additive message: servers advertise support via the ``rewrite``
+    capability, so no protocol-version bump.
+    """
+
+    KIND = "rewrite"
+
+    verify: bool = True
+
+    def to_wire(self) -> dict:
+        wire = super().to_wire()
+        wire["verify"] = self.verify
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "RewriteRequest":
+        base = super().from_wire(payload)
+        return replace(base,
+                       verify=_get(payload, "verify", bool, default=True))
 
 
 @dataclass(frozen=True)
@@ -452,8 +484,8 @@ class Goodbye:
 
 _MESSAGES = {
     cls.KIND: cls
-    for cls in (Hello, HelloOk, SuggestRequest, FileResult, BatchResult,
-                Done, Error, Goodbye)
+    for cls in (Hello, HelloOk, SuggestRequest, RewriteRequest,
+                FileResult, BatchResult, Done, Error, Goodbye)
 }
 
 

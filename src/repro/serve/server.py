@@ -543,6 +543,7 @@ class SuggestServer:
             },
             "max_frame_bytes": self.max_frame_bytes,
             "streaming": True,
+            "rewrite": True,
             "server_side_paths": self.local_roots is not None,
             "coalescing": True,
             "queue_depth": self.queue_depth,
@@ -872,6 +873,23 @@ class SuggestServer:
             lane.queue.remove(pending)
         return list(chunks.items())
 
+    @staticmethod
+    def _transform(pending: _Pending, index: int, fs):
+        """Apply the request's post-pass to one finished file.
+
+        Runs on the compute thread — a rewrite request's interpreter
+        verification must never touch the event loop.  Suggestion
+        coalescing is unaffected: rewrites are a deterministic
+        per-file function of the shared suggestion result.
+        """
+        if isinstance(pending.request, protocol.RewriteRequest):
+            from repro.rewrite import rewrite_file
+
+            _, name, source = pending.files[index]
+            return rewrite_file(name, source, fs,
+                                verify=pending.request.verify)
+        return fs
+
     def _compute_round(self, lane: _Lane,
                        batch: list[tuple[_Pending, list]]) -> None:
         """Run one coalesced round (compute thread; one per lane).
@@ -896,8 +914,10 @@ class SuggestServer:
                 service._coalesce["requests"] += 1
                 try:
                     for local_i, fs in results:
+                        index = indices[local_i]
+                        out = self._transform(pending, index, fs)
                         loop.call_soon_threadsafe(
-                            pending.deliver, indices[local_i], fs)
+                            pending.deliver, index, out)
                 finally:
                     close = getattr(results, "close", None)
                     if close is not None:   # reap shard workers
@@ -911,8 +931,10 @@ class SuggestServer:
                                for _, name, source in files]))
                 for tag, local_i, fs in service.iter_joint(workloads):
                     pending, indices = tag
+                    index = indices[local_i]
+                    out = self._transform(pending, index, fs)
                     loop.call_soon_threadsafe(
-                        pending.deliver, indices[local_i], fs)
+                        pending.deliver, index, out)
         except Exception:
             tb = traceback.format_exc()
             for pending, _ in batch:

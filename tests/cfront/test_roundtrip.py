@@ -1,0 +1,114 @@
+"""Round-trip property tests: parse → unparse → parse → unparse is a
+fixed point, and unparsing never changes meaning.
+
+Covers the real corpus under ``examples/corpus``, whole generated
+programs from the synthetic-dataset grammar, and the token-fusion
+regression the property test surfaced: a prefix unary operator must
+not fuse with its operand's leading token (``-(-x)`` unparsed as
+``--x`` re-lexes as a predecrement — a silent semantic change — and
+``&(&x)`` as ``&&x`` does not re-parse at all).
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse_loop, parse_source, parse_statements, unparse
+from repro.dataset.recipes import RecipeGenerator
+
+CORPUS = Path(__file__).resolve().parent.parent.parent / "examples" / "corpus"
+
+
+def unparse_stmts(source):
+    """Unparse a statement snippet without the synthetic block wrapper."""
+    block = parse_statements(source)
+    return "\n".join(unparse(s) for s in block.stmts)
+
+
+def fixed_point_source(source):
+    once = unparse(parse_source(source))
+    twice = unparse(parse_source(once))
+    assert once == twice
+    return once
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.c")),
+                         ids=lambda p: p.name)
+def test_corpus_files_are_fixed_points(path):
+    fixed_point_source(path.read_text())
+
+
+@pytest.mark.parametrize("category",
+                         ["reduction", "private", "simd", "parallel",
+                          "target", None])
+@pytest.mark.parametrize("seed", range(5))
+def test_generated_loops_are_fixed_points(category, seed):
+    recipe = RecipeGenerator(seed=seed).generate(category)
+    once = unparse(parse_loop(recipe.body))
+    twice = unparse(parse_loop(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_generated_programs_are_fixed_points(seed):
+    gen = RecipeGenerator(seed=seed)
+    bodies = [gen.generate(c).body
+              for c in ("reduction", "private", None)]
+    decls = "double a[64], b[64], c[64];\nint n;\n"
+    fns = "\n".join(
+        f"void f{k}(void)\n{{\n{body}\n}}" for k, body in enumerate(bodies))
+    fixed_point_source(decls + fns)
+
+
+class TestUnaryTokenFusion:
+    """Regression: prefix unary chains must keep their lexemes apart."""
+
+    @pytest.mark.parametrize("expr,bad", [
+        ("-(-x)", "--"),
+        ("+(+x)", "++"),
+        ("&(&x)", "&&"),
+        ("-(--x)", "---"),
+    ])
+    def test_no_token_fusion(self, expr, bad):
+        assert bad not in unparse_stmts(f"y = {expr};")
+
+    def test_negate_negate_is_not_predecrement(self):
+        out = unparse_stmts("y = -(-x);")
+        stmt = parse_statements(out).stmts[0].expr
+        # still an assignment of a unary-minus chain, not `--x`
+        inner = stmt.rhs
+        assert inner.op == "-" and not inner.is_incdec
+        assert inner.operand.op == "-" and not inner.operand.is_incdec
+
+    def test_address_of_address_reparses(self):
+        out = unparse_stmts("p = &(&x);")
+        assert unparse_stmts(out) == out
+
+    def test_real_predecrement_untouched(self):
+        assert "--x" in unparse_stmts("y = --x;")
+
+    def test_unary_on_different_op_stays_fused(self):
+        assert "-+x" in unparse_stmts("y = -(+x);")
+
+
+_names = st.sampled_from(["x", "y", "n", "a"])
+_unops = st.sampled_from(["-", "+", "!", "~", "&", "--", "++"])
+
+
+def _unary_chains():
+    return st.recursive(
+        _names,
+        lambda children: st.tuples(_unops, children).map(
+            lambda t: f"{t[0]}({t[1]})"),
+        max_leaves=6,
+    )
+
+
+@given(expr=_unary_chains())
+@settings(max_examples=120, deadline=None)
+def test_unary_chain_fixed_point(expr):
+    """Any chain of prefix unary operators survives two round trips."""
+    once = unparse_stmts(f"y = {expr};")
+    twice = unparse_stmts(once)
+    assert once == twice

@@ -1,0 +1,160 @@
+"""Clause synthesis: analysis-grounded clause lists for one loop."""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.rewrite import ClausePlan, PlanError, plan_clauses
+
+
+def plan(source, live_out=()):
+    return plan_clauses(parse_loop(source), frozenset(live_out))
+
+
+class TestReductions:
+    def test_sum_reduction(self):
+        p = plan("for (i = 0; i < n; i++) s += a[i];")
+        assert p.reductions == (("+", "s"),)
+        assert "reduction(+:s)" in p.pragma()
+
+    def test_product_reduction(self):
+        p = plan("for (i = 0; i < n; i++) s *= a[i];")
+        assert p.reductions == (("*", "s"),)
+
+    def test_two_reductions_same_op_share_clause(self):
+        p = plan("for (i = 0; i < n; i++) { s += a[i]; t += b[i]; }")
+        assert p.reductions == (("+", "s"), ("+", "t"))
+        assert "reduction(+:s, t)" in p.pragma()
+
+    def test_mixed_op_reductions_get_separate_clauses(self):
+        p = plan("for (i = 0; i < n; i++) { s += a[i]; p *= b[i]; }")
+        clauses = p.clauses()
+        assert "reduction(*:p)" in clauses
+        assert "reduction(+:s)" in clauses
+
+    def test_reduction_var_not_firstprivate(self):
+        p = plan("for (i = 0; i < n; i++) s += a[i];")
+        assert "s" not in p.firstprivate
+
+    def test_conditional_reduction_accepted(self):
+        p = plan("for (i = 0; i < n; i++) if (a[i] > 0) s += a[i];")
+        assert p.reductions == (("+", "s"),)
+
+    def test_count_update_is_reduction(self):
+        p = plan("for (i = 0; i < n; i++) if (a[i] > 0) count++;")
+        assert p.reductions == (("+", "count"),)
+
+
+class TestPrivatization:
+    def test_write_first_scalar_is_private(self):
+        p = plan("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }")
+        assert p.private == ("t",)
+        assert "private(t)" in p.pragma()
+
+    def test_live_out_privatizable_becomes_lastprivate(self):
+        p = plan("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }",
+                 live_out={"t"})
+        assert p.lastprivate == ("t",)
+        assert p.private == ()
+
+    def test_block_scoped_decl_needs_no_clause(self):
+        p = plan("for (i = 0; i < n; i++) { int t = a[i]; b[i] = t; }")
+        assert "t" not in p.private
+        assert "t" in p.local_decls
+
+    def test_live_out_induction_var_is_lastprivate(self):
+        p = plan("for (i = 0; i < n; i++) a[i] = i;", live_out={"i"})
+        assert "i" in p.lastprivate
+
+    def test_dead_induction_var_needs_no_clause(self):
+        p = plan("for (i = 0; i < n; i++) a[i] = i;")
+        assert "i" not in p.lastprivate
+        assert "i" not in p.private
+
+    def test_inner_loop_var_privatized_when_declared_outside(self):
+        p = plan("for (i = 0; i < n; i++)"
+                 "  for (j = 0; j < m; j++) a[i][j] = 0;")
+        assert "j" in p.inner_vars
+        assert "j" in p.private
+
+    def test_inner_loop_var_declared_inside_needs_no_clause(self):
+        p = plan("for (i = 0; i < n; i++)"
+                 "  for (int j = 0; j < m; j++) a[i][j] = 0;")
+        assert "j" not in p.private
+
+
+class TestFirstprivate:
+    def test_read_only_scalar_is_firstprivate(self):
+        p = plan("for (i = 0; i < n; i++) y[i] = alpha * x[i];")
+        assert "alpha" in p.firstprivate
+
+    def test_header_only_bound_needs_no_clause(self):
+        # the bound is read once at region entry; a shared read-only
+        # scalar referenced nowhere in the body needs no clause
+        p = plan("for (i = 0; i < n; i++) a[i] = 0;")
+        assert p.firstprivate == ()
+
+    def test_array_bases_never_firstprivate(self):
+        p = plan("for (i = 0; i < n; i++) y[i] = x[i];")
+        assert "x" not in p.firstprivate
+        assert "y" not in p.firstprivate
+
+    def test_induction_var_never_firstprivate(self):
+        p = plan("for (i = 0; i < n; i++) a[i] = i + 1;")
+        assert "i" not in p.firstprivate
+
+
+class TestRefusals:
+    def test_non_canonical_while(self):
+        with pytest.raises(PlanError) as exc:
+            plan("while (n > 0) { n = n - 1; }")
+        assert exc.value.code == "non-canonical"
+
+    def test_non_canonical_break(self):
+        with pytest.raises(PlanError) as exc:
+            plan("for (i = 0; i < n; i++) if (a[i]) break;")
+        assert exc.value.code == "non-canonical"
+
+    def test_shared_scalar_write(self):
+        with pytest.raises(PlanError) as exc:
+            plan("for (i = 0; i < n; i++) s = s * a[i] + 1;")
+        assert exc.value.code == "shared-scalar"
+        assert "s" in exc.value.detail
+
+    def test_read_then_written_scalar_is_shared(self):
+        with pytest.raises(PlanError) as exc:
+            plan("for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }")
+        assert exc.value.code == "shared-scalar"
+
+
+class TestRendering:
+    def test_pragma_prefix(self):
+        p = plan("for (i = 0; i < n; i++) a[i] = 0;")
+        assert p.pragma().startswith("#pragma omp parallel for")
+
+    def test_bare_parallel_for_when_no_clauses_needed(self):
+        p = plan("for (i = 0; i < 8; i++) a[i] = 0;")
+        assert p.pragma() == "#pragma omp parallel for"
+
+    def test_clause_lists_are_sorted(self):
+        p = plan("for (i = 0; i < n; i++)"
+                 "  { z = a[i]; y = b[i]; c[i] = z + y; }")
+        assert list(p.private) == sorted(p.private)
+
+    def test_plan_is_deterministic(self):
+        src = ("for (i = 0; i < n; i++)"
+               "  { t = a[i]; s += t * beta; b[i] = t; }")
+        assert plan(src).pragma() == plan(src).pragma()
+
+    def test_plan_is_frozen(self):
+        p = plan("for (i = 0; i < n; i++) a[i] = 0;")
+        assert isinstance(p, ClausePlan)
+        with pytest.raises(AttributeError):
+            p.var = "j"
+
+    def test_precomputed_deps_accepted(self):
+        from repro.tools.deps import analyze_loop
+
+        loop = parse_loop("for (i = 0; i < n; i++) s += a[i];")
+        deps = analyze_loop(loop, conditional_reductions=True)
+        p = plan_clauses(loop, frozenset(), deps=deps)
+        assert p.reductions == (("+", "s"),)

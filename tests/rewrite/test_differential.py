@@ -1,0 +1,176 @@
+"""Property-based differential testing of the rewrite verifier.
+
+Loops come from the synthetic-dataset grammar
+(:class:`~repro.dataset.recipes.RecipeGenerator`) — the same generative
+process the models train on, with ground-truth parallelism labels
+correct by construction.  Against each generated loop we check the
+verifier's verdict against an *independent* brute-force oracle: execute
+the loop sequentially, then re-execute the raw body (no privatization,
+no clause handling) in reversed iteration order, and compare array
+state.
+
+The invariants:
+
+- an accepted rewrite implies array state is iteration-order
+  independent (privatization only legalises *scalar* reuse, so array
+  cells must already agree under any reordering);
+- equivalently: brute-force array divergence implies the verifier must
+  not accept;
+- every accepted rewrite re-parses and re-verifies from its unparsed
+  text (fixed seeds, CI-safe budgets).
+"""
+
+import math
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.rewrite import (
+    PlanError,
+    VerifyConfig,
+    plan_clauses,
+    rewrite_loop,
+    verify_loop,
+)
+from repro.rewrite.verify import _enumerate_iterations, _snapshot
+from repro.dataset.recipes import RecipeGenerator
+from repro.tools.canonical import recognize_canonical
+from repro.tools.interp import (
+    ExecutionBudgetExceeded,
+    Interpreter,
+    UnsupportedConstruct,
+    _ContinueSignal,
+)
+
+CONFIG = VerifyConfig()
+
+#: (category, seed) grid: every generator category, many fixed seeds —
+#: deterministic corpus, no flakes, CI-safe budgets
+CATEGORIES = ["reduction", "private", "simd", "parallel", "target", None]
+SEEDS = range(8)
+CASES = [(category, seed) for category in CATEGORIES for seed in SEEDS]
+
+
+def _generated_loop(category, seed):
+    recipe = RecipeGenerator(seed=seed).generate(category)
+    return recipe, parse_loop(recipe.body)
+
+
+def _array_state(interp, loop):
+    """Array cells only — the state privatization cannot legalise."""
+    scalars = frozenset(
+        name for name, (_, shape) in interp.memory.bases.items()
+        if not shape
+    )
+    return _snapshot(interp.memory, scalars)
+
+
+def _brute_force_reversed(loop):
+    """Array state after sequential vs reversed-order raw execution.
+
+    Returns ``None`` when the loop cannot be brute-forced (not
+    canonical, unsupported constructs, zero trips) — those shapes are
+    covered by the verifier's own refusal codes.
+    """
+    canonical = recognize_canonical(loop)
+    if canonical is None:
+        return None
+    states = []
+    for reverse in (False, True):
+        interp = Interpreter(max_steps=CONFIG.max_steps,
+                             array_extent=CONFIG.array_extent,
+                             max_trip=CONFIG.max_trip,
+                             seed=CONFIG.seeds[0])
+        interp.prepare(loop)
+        try:
+            values, _ = _enumerate_iterations(interp, loop, canonical,
+                                              CONFIG)
+            if not values:
+                return None
+            order = list(reversed(values)) if reverse else values
+            var_addr = interp.memory.address_of(canonical.var)
+            for v in order:
+                interp.memory.write(var_addr, v)
+                try:
+                    interp.exec_stmt(loop.body)
+                except _ContinueSignal:
+                    pass
+        except (UnsupportedConstruct, ExecutionBudgetExceeded):
+            return None
+        states.append(_array_state(interp, loop))
+    return states
+
+
+def _arrays_match(a, b):
+    for name in set(a) | set(b):
+        for x, y in zip(a.get(name, []), b.get(name, [])):
+            both_num = (isinstance(x, (int, float))
+                        and isinstance(y, (int, float)))
+            if both_num:
+                if not math.isclose(x, y, rel_tol=CONFIG.rel_tol,
+                                    abs_tol=CONFIG.abs_tol):
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("category,seed", CASES)
+def test_accepted_implies_order_independent_arrays(category, seed):
+    """Verifier accepts ⇒ brute-force reversed execution agrees on
+    every array cell (contrapositive: raw order dependence on arrays
+    must refuse)."""
+    recipe, loop = _generated_loop(category, seed)
+    try:
+        plan = plan_clauses(loop)
+    except PlanError:
+        return
+    verdict = verify_loop(loop, plan, CONFIG)
+    states = _brute_force_reversed(loop)
+    if verdict.ok and states is not None:
+        assert _arrays_match(*states), (
+            f"verifier accepted an order-dependent loop "
+            f"(category={category}, seed={seed}):\n{recipe.body}")
+
+
+@pytest.mark.parametrize("category,seed", CASES)
+def test_sequential_recipes_never_verify(category, seed):
+    """Ground-truth non-parallel loops must not be accepted."""
+    recipe, loop = _generated_loop(category, seed)
+    if recipe.parallel:
+        return
+    try:
+        plan = plan_clauses(loop)
+    except PlanError:
+        return                          # refused at planning: fine
+    verdict = verify_loop(loop, plan, CONFIG)
+    states = _brute_force_reversed(loop)
+    if states is not None and not _arrays_match(*states):
+        assert not verdict.ok, (
+            f"verifier accepted a loop whose arrays are order-"
+            f"dependent (category={category}, seed={seed}):\n"
+            f"{recipe.body}")
+
+
+@pytest.mark.parametrize("category,seed", CASES)
+def test_accepted_rewrites_reparse_and_reverify(category, seed):
+    """Every accepted rewrite is round-trippable C that verifies again."""
+    recipe, _ = _generated_loop(category, seed)
+    first = rewrite_loop(recipe.body, config=CONFIG)
+    if not first.accepted:
+        return
+    again = rewrite_loop(first.rewritten, config=CONFIG)
+    assert again.accepted, (
+        f"accepted rewrite failed to re-verify (category={category}, "
+        f"seed={seed}): {again.code}: {again.detail}")
+    assert again.pragma == first.pragma
+    assert again.rewritten == first.rewritten
+
+
+def test_grid_exercises_accepts_and_refusals():
+    """The fixed grid must cover both outcomes, or the suite is vacuous."""
+    outcomes = set()
+    for category, seed in CASES:
+        recipe, _ = _generated_loop(category, seed)
+        outcomes.add(rewrite_loop(recipe.body, config=CONFIG).accepted)
+    assert outcomes == {True, False}

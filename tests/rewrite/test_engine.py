@@ -1,0 +1,173 @@
+"""The rewrite pass end to end: suggestions in, transformed C out."""
+
+import pytest
+
+from repro.cfront import parse_loop, parse_source, unparse
+from repro.rewrite import (
+    ACCEPT_CODES,
+    REFUSAL_CODES,
+    FileRewrite,
+    LoopRewrite,
+    rewrite_file,
+    rewrite_loop,
+)
+from repro.suggest import Suggestion
+
+SUM_LOOP = "for (i = 0; i < n; i++) s += a[i];"
+PREFIX_LOOP = "for (i = 1; i < n; i++) a[i] = a[i] + a[i - 1];"
+
+
+def suggestion(loop_source, parallel=True, rationale="test"):
+    return Suggestion(loop_source=loop_source, parallel=parallel,
+                      pragma="#pragma omp parallel for" if parallel else None,
+                      clause_families=(), rationale=rationale)
+
+
+class FakeFileSuggestions:
+    """Duck-typed stand-in for serve.pipeline.FileSuggestions."""
+
+    def __init__(self, suggestions, error=None):
+        self.suggestions = suggestions
+        self.error = error
+
+
+class TestRewriteLoop:
+    def test_accepts_and_attaches_pragma(self):
+        r = rewrite_loop(SUM_LOOP)
+        assert r.accepted and r.code == "verified"
+        assert r.pragma == "#pragma omp parallel for reduction(+:s)"
+        assert r.rewritten.startswith("#pragma omp parallel for")
+
+    def test_rewritten_loop_reparses(self):
+        r = rewrite_loop(SUM_LOOP)
+        loop = parse_loop(r.rewritten)
+        assert loop.pragmas == [r.pragma.lstrip("#")]
+
+    def test_refuses_divergent_loop(self):
+        r = rewrite_loop(PREFIX_LOOP)
+        assert not r.accepted and r.code == "divergence"
+        assert r.pragma is None and r.rewritten is None
+
+    def test_unparseable_snippet(self):
+        r = rewrite_loop("for (i = 0; i <")
+        assert not r.accepted and r.code == "unparseable"
+
+    def test_verify_false_accepts_unchecked(self):
+        r = rewrite_loop(PREFIX_LOOP, verify=False)
+        assert r.accepted and r.code == "unverified"
+
+    def test_existing_pragma_replaced(self):
+        r = rewrite_loop("#pragma omp parallel\n" + SUM_LOOP)
+        assert r.accepted
+        assert r.rewritten.count("#pragma") == 1
+        assert "reduction(+:s)" in r.rewritten
+
+    def test_codes_are_registered(self):
+        assert rewrite_loop(SUM_LOOP).code in ACCEPT_CODES
+        assert rewrite_loop(PREFIX_LOOP).code in REFUSAL_CODES
+
+
+class TestRewriteFile:
+    SOURCE = (
+        "double a[64];\n"
+        "double s;\n"
+        "void f(int n)\n"
+        "{\n"
+        "    int i;\n"
+        "    for (i = 0; i < n; i++)\n"
+        "        s += a[i];\n"
+        "    for (i = 1; i < n; i++)\n"
+        "        a[i] = a[i] + a[i - 1];\n"
+        "}\n"
+    )
+
+    def _suggestions(self):
+        tu = parse_source(self.SOURCE)
+        loops = [s for fn in tu.functions()
+                 for s in fn.body.stmts if hasattr(s, "init")]
+        return [suggestion(unparse(loop)) for loop in loops]
+
+    def test_accept_and_refuse_in_one_file(self):
+        fr = rewrite_file("f.c", self.SOURCE,
+                          FakeFileSuggestions(self._suggestions()))
+        assert [r.code for r in fr.rewrites] == ["verified", "divergence"]
+        assert fr.n_accepted == 1 and fr.n_refused == 1
+
+    def test_rewritten_source_reparses_with_pragma(self):
+        fr = rewrite_file("f.c", self.SOURCE,
+                          FakeFileSuggestions(self._suggestions()))
+        tu = parse_source(fr.rewritten_source)
+        assert "reduction(+:s)" in fr.rewritten_source
+        # the refused loop keeps its original pragma-free text
+        assert fr.rewritten_source.count("#pragma") == 1
+        assert unparse(tu) == fr.rewritten_source
+
+    def test_not_parallel_passthrough(self):
+        suggs = self._suggestions()
+        suggs[0] = suggestion(suggs[0].loop_source, parallel=False,
+                              rationale="model said no")
+        fr = rewrite_file("f.c", self.SOURCE, FakeFileSuggestions(suggs))
+        assert fr.rewrites[0].code == "not-parallel"
+        assert fr.rewrites[0].detail == "model said no"
+        assert fr.n_refused == 1        # not-parallel is not a refusal
+
+    def test_count_mismatch_refuses_misaligned(self):
+        suggs = self._suggestions()[:1]
+        fr = rewrite_file("f.c", self.SOURCE, FakeFileSuggestions(suggs))
+        assert [r.code for r in fr.rewrites] == ["misaligned"]
+        assert "1 suggestions" in fr.rewrites[0].detail
+
+    def test_source_mismatch_refuses_misaligned(self):
+        suggs = list(reversed(self._suggestions()))
+        fr = rewrite_file("f.c", self.SOURCE, FakeFileSuggestions(suggs))
+        assert all(r.code == "misaligned" for r in fr.rewrites)
+
+    def test_frontend_error_passthrough(self):
+        fr = rewrite_file("bad.c", self.SOURCE,
+                          FakeFileSuggestions([], error="lex error"))
+        assert fr.error == "lex error"
+        assert fr.rewrites == [] and fr.rewritten_source is None
+
+    def test_unparseable_source(self):
+        fr = rewrite_file("bad.c", "void f( {", FakeFileSuggestions([]))
+        assert fr.error is not None
+
+    def test_verify_false_marks_unverified(self):
+        fr = rewrite_file("f.c", self.SOURCE,
+                          FakeFileSuggestions(self._suggestions()),
+                          verify=False)
+        assert [r.code for r in fr.rewrites] == ["unverified",
+                                                 "unverified"]
+
+
+class TestWireShapes:
+    def test_loop_rewrite_dict_round_trip(self):
+        r = rewrite_loop(SUM_LOOP)
+        assert LoopRewrite.from_dict(r.to_dict()) == r
+
+    def test_file_rewrite_payload_round_trip(self):
+        fr = rewrite_file(
+            "f.c", TestRewriteFile.SOURCE,
+            FakeFileSuggestions(TestRewriteFile()._suggestions()))
+        revived = FileRewrite.from_payload("f.c", fr.to_payload())
+        assert revived == fr
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        fr = rewrite_file(
+            "f.c", TestRewriteFile.SOURCE,
+            FakeFileSuggestions(TestRewriteFile()._suggestions()))
+        assert (FileRewrite.from_payload(
+                    "f.c", json.loads(json.dumps(fr.to_payload())))
+                == fr)
+
+    def test_error_payload_round_trip(self):
+        fr = FileRewrite(name="x.c", error="boom")
+        assert FileRewrite.from_payload("x.c", fr.to_payload()) == fr
+
+
+@pytest.mark.parametrize("code", REFUSAL_CODES)
+def test_refusal_codes_are_kebab_case(code):
+    assert code == code.lower()
+    assert " " not in code

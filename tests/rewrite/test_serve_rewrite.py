@@ -1,0 +1,215 @@
+"""The rewrite pass through the serving stack: service methods,
+wire protocol, daemon round trips.
+
+The acceptance bar is *byte identity*: a rewrite computed on the
+daemon's compute thread and revived client-side from wire payloads
+must equal the in-process `SuggestionService.rewrite_sources` result
+exactly — same pragmas, same refusal codes, same rewritten text.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.client import ClientError, connect
+from repro.rewrite import FileRewrite
+from repro.serve import SuggestionService, SuggestServer, protocol
+
+SUM_SOURCE = """
+double a[64], b[64]; double s;
+void kernel(void) {
+    int i;
+    for (i = 0; i < 64; i++) a[i] = b[i] * 2.0;
+    for (i = 0; i < 64; i++) s += a[i];
+}
+"""
+
+PREFIX_SOURCE = """
+double p[32];
+void scan(void) {
+    int j;
+    for (j = 1; j < 32; j++) p[j] = p[j] + p[j - 1];
+}
+"""
+
+BAD_SOURCE = "void broken(void) { for (i = 0; i < ; }"
+
+NAMED = [("sum.c", SUM_SOURCE), ("scan.c", PREFIX_SOURCE)]
+
+
+class _StubModel:
+    """Picklable fingerprinted stub following the suggester contract."""
+
+    def __init__(self, value: int, name: str = "stub") -> None:
+        self.value = value
+        self.name = name
+
+    def predict_samples(self, samples):
+        return np.full(len(samples), self.value, dtype=int)
+
+    def fingerprint(self) -> str:
+        return f"stub:{self.name}:{self.value}"
+
+
+def _service() -> SuggestionService:
+    return SuggestionService(_StubModel(1), {"reduction": _StubModel(1)})
+
+
+@pytest.fixture(scope="module")
+def service():
+    return _service()
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    srv = SuggestServer({"default": service}).start()
+    yield srv
+    srv.shutdown()
+
+
+class TestServiceRewrites:
+    """In-process `SuggestionService.rewrite_*` semantics."""
+
+    def test_verified_codes_per_file(self, service):
+        results = service.rewrite_sources(NAMED)
+        assert [fr.name for fr in results] == ["sum.c", "scan.c"]
+        sum_codes = [r.code for r in results[0].rewrites]
+        assert sum_codes == ["verified", "verified"]
+        assert [r.code for r in results[1].rewrites] == ["divergence"]
+
+    def test_reduction_clause_synthesized(self, service):
+        fr = service.rewrite_sources([("sum.c", SUM_SOURCE)])[0]
+        assert fr.rewrites[1].pragma == \
+            "#pragma omp parallel for reduction(+:s)"
+        assert "reduction(+:s)" in fr.rewritten_source
+
+    def test_refused_file_has_no_pragma(self, service):
+        fr = service.rewrite_sources([("scan.c", PREFIX_SOURCE)])[0]
+        assert fr.n_accepted == 0 and fr.n_refused == 1
+        assert "#pragma" not in fr.rewritten_source
+
+    def test_stream_matches_batch(self, service):
+        streamed = list(service.stream_rewrite_sources(NAMED))
+        assert streamed == service.rewrite_sources(NAMED)
+
+    def test_verify_false_skips_the_gate(self, service):
+        results = service.rewrite_sources(NAMED, verify=False)
+        codes = [r.code for fr in results for r in fr.rewrites]
+        assert codes == ["unverified"] * 3
+        # the divergent scan now carries a (wrong) pragma: the verifier
+        # really is the gate
+        assert "#pragma" in results[1].rewritten_source
+
+    def test_frontend_error_passthrough(self, service):
+        fr = service.rewrite_sources([("bad.c", BAD_SOURCE)])[0]
+        assert fr.error is not None and fr.rewrites == []
+
+    def test_deterministic_across_calls(self, service):
+        a = service.rewrite_sources(NAMED)
+        b = service.rewrite_sources(NAMED)
+        assert a == b
+
+    def test_sharded_matches_in_process(self, service):
+        sharded = list(service.stream_rewrite_sources(NAMED, shards=2))
+        assert sharded == service.rewrite_sources(NAMED)
+
+
+class TestRewriteWire:
+    """`RewriteRequest` wire shape: additive, defaults, refusals."""
+
+    def test_round_trip(self):
+        req = protocol.RewriteRequest(sources=(("a.c", "int x;"),),
+                                      verify=False, shards=2)
+        revived = protocol.decode_message(req.to_wire())
+        assert revived == req
+        assert isinstance(revived, protocol.RewriteRequest)
+
+    def test_kind_is_rewrite(self):
+        assert protocol.RewriteRequest.KIND == "rewrite"
+        assert protocol.RewriteRequest().to_wire()["kind"] == "rewrite"
+
+    def test_verify_defaults_true_when_absent(self):
+        wire = protocol.RewriteRequest(sources=(("a.c", "x"),)).to_wire()
+        del wire["verify"]
+        assert protocol.decode_message(wire).verify is True
+
+    def test_bad_verify_type_refused(self):
+        wire = protocol.RewriteRequest().to_wire()
+        wire["verify"] = "yes"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(wire)
+
+    def test_validation_errors_name_the_rewrite_kind(self):
+        wire = protocol.RewriteRequest().to_wire()
+        wire["sources"] = [["only-a-name"]]
+        with pytest.raises(protocol.ProtocolError, match="rewrite"):
+            protocol.decode_message(wire)
+
+    def test_is_a_suggest_request(self):
+        # subclassing is what lets the server session admit it
+        assert issubclass(protocol.RewriteRequest,
+                          protocol.SuggestRequest)
+
+    def test_wire_is_json_safe(self):
+        req = protocol.RewriteRequest(sources=(("a.c", "int x;"),))
+        assert protocol.decode_message(
+            json.loads(json.dumps(req.to_wire()))) == req
+
+
+class TestDaemonRewrites:
+    """End-to-end over a live server socket."""
+
+    def test_capability_advertised(self, server):
+        with connect(server.address) as client:
+            assert client.capabilities.get("rewrite") is True
+
+    def test_round_trip_matches_in_process(self, service, server):
+        golden = service.rewrite_sources(NAMED)
+        with connect(server.address) as client:
+            served = client.rewrite_sources(NAMED)
+        assert served == golden
+        assert json.dumps([fr.to_payload() for fr in served]) == \
+            json.dumps([fr.to_payload() for fr in golden])
+
+    def test_streaming_matches_batch(self, server):
+        with connect(server.address) as client:
+            streamed = list(client.stream_rewrite_sources(NAMED))
+            batched = client.rewrite_sources(NAMED)
+        assert streamed == batched
+
+    def test_verify_flag_travels(self, service, server):
+        with connect(server.address) as client:
+            served = client.rewrite_sources(NAMED, verify=False)
+        assert served == service.rewrite_sources(NAMED, verify=False)
+        codes = [r.code for fr in served for r in fr.rewrites]
+        assert codes == ["unverified"] * 3
+
+    def test_error_files_survive_the_wire(self, service, server):
+        mixed = NAMED + [("bad.c", BAD_SOURCE)]
+        with connect(server.address) as client:
+            served = client.rewrite_sources(mixed)
+        assert served == service.rewrite_sources(mixed)
+        assert served[2].error is not None
+
+    def test_suggest_still_works_on_same_connection(self, server):
+        # the additive request must not disturb the existing kind
+        with connect(server.address) as client:
+            rewrites = client.rewrite_sources(NAMED)
+            suggestions = client.suggest_sources(NAMED)
+        assert isinstance(rewrites[0], FileRewrite)
+        assert len(suggestions[0].suggestions) == 2
+
+    def test_old_capability_refused_client_side(self, server):
+        with connect(server.address) as client:
+            caps = dict(client.capabilities)
+            caps.pop("rewrite")
+            client.capabilities = caps
+            with pytest.raises(ClientError) as err:
+                client.rewrite_sources(NAMED)
+        assert err.value.code == "rewrite-unsupported"
+
+    def test_done_frame_counts_rewrite_files(self, server):
+        with connect(server.address) as client:
+            list(client.stream_rewrite_sources(NAMED))
+            assert client.last_done.files == len(NAMED)

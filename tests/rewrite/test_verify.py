@@ -1,0 +1,200 @@
+"""Differential verification: sequential vs simulated-parallel."""
+
+import pytest
+
+from repro.cfront import parse_loop
+from repro.rewrite import VerifyConfig, plan_clauses, verify_loop
+from repro.rewrite.verify import _iteration_order
+
+
+def verdict(source, live_out=(), config=None):
+    loop = parse_loop(source)
+    plan = plan_clauses(loop, frozenset(live_out))
+    return verify_loop(loop, plan, config)
+
+
+class TestAccepts:
+    def test_independent_elementwise(self):
+        v = verdict("for (i = 0; i < n; i++) a[i] = 2 * i;")
+        assert v.ok and v.code == "verified"
+
+    def test_sum_reduction(self):
+        v = verdict("for (i = 0; i < n; i++) s += a[i];")
+        assert v.ok
+
+    def test_product_reduction(self):
+        v = verdict("for (i = 0; i < n; i++) s *= a[i];")
+        assert v.ok
+
+    def test_subtraction_reduction(self):
+        # -= combines under + with negated contributions
+        v = verdict("for (i = 0; i < n; i++) s -= a[i];")
+        assert v.ok
+
+    def test_conditional_reduction(self):
+        v = verdict("for (i = 0; i < n; i++) if (a[i] > 0) s += a[i];")
+        assert v.ok
+
+    def test_privatized_temporary(self):
+        v = verdict("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }")
+        assert v.ok
+
+    def test_lastprivate_temporary(self):
+        v = verdict("for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t; }",
+                    live_out={"t"})
+        assert v.ok
+
+    def test_lastprivate_induction_var(self):
+        v = verdict("for (i = 0; i < n; i++) a[i] = i;", live_out={"i"})
+        assert v.ok
+
+    def test_firstprivate_scalar(self):
+        v = verdict("for (i = 0; i < n; i++) y[i] = alpha * x[i];")
+        assert v.ok
+
+    def test_nested_loop(self):
+        v = verdict("for (i = 0; i < n; i++)"
+                    "  for (j = 0; j < 4; j++) a[i][j] = i + j;")
+        assert v.ok
+
+    def test_continue_in_body(self):
+        v = verdict("for (i = 0; i < n; i++)"
+                    "  { if (a[i] < 0) continue; b[i] = a[i]; }")
+        assert v.ok
+
+    def test_stride_two(self):
+        v = verdict("for (i = 0; i < n; i += 2) a[i] = i;")
+        assert v.ok
+
+    def test_downward_loop(self):
+        v = verdict("for (i = 8; i > 0; i--) a[i] = i;")
+        assert v.ok
+
+
+class TestDivergence:
+    def test_prefix_recurrence(self):
+        v = verdict("for (i = 1; i < n; i++) a[i] = a[i] + a[i - 1];")
+        assert not v.ok and v.code == "divergence"
+
+    def test_suffix_recurrence(self):
+        v = verdict("for (i = 0; i < n; i++) a[i] = a[i + 1] + 1;")
+        assert not v.ok and v.code == "divergence"
+
+    def test_divergence_detail_names_schedule(self):
+        v = verdict("for (i = 1; i < n; i++) a[i] = a[i] + a[i - 1];")
+        assert "schedule" in v.detail
+        assert "seed" in v.detail
+
+    def test_misplanned_private_read_caught_by_poison(self):
+        # hand-build a plan that wrongly privatizes a read-before-write
+        # scalar: the poison value flows into b and must be refused
+        from repro.rewrite.clauses import ClausePlan
+
+        loop = parse_loop(
+            "for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }")
+        bad = ClausePlan(var="i", reductions=(), private=("t",),
+                         firstprivate=(), lastprivate=(),
+                         local_decls=(), inner_vars=())
+        v = verify_loop(loop, bad)
+        assert not v.ok and v.code == "divergence"
+
+    def test_unprivatized_shared_scalar_diverges(self):
+        # a plan that leaves the temporary fully shared: its post-loop
+        # value depends on which iteration ran last
+        from repro.rewrite.clauses import ClausePlan
+
+        loop = parse_loop(
+            "for (i = 0; i < n; i++) { t = a[i]; b[i] = t + 1; }")
+        bad = ClausePlan(var="i", reductions=(), private=(),
+                         firstprivate=(), lastprivate=(),
+                         local_decls=(), inner_vars=())
+        v = verify_loop(loop, bad)
+        assert not v.ok and v.code == "divergence"
+
+    def test_lastprivate_plan_for_written_temporary_is_correct(self):
+        # the same loop with the temporary lastprivate IS the OpenMP
+        # semantics the sequential loop has — must verify
+        from repro.rewrite.clauses import ClausePlan
+
+        loop = parse_loop(
+            "for (i = 0; i < n; i++) { t = a[i]; b[i] = t + 1; }")
+        good = ClausePlan(var="i", reductions=(), private=(),
+                          firstprivate=(), lastprivate=("t",),
+                          local_decls=(), inner_vars=())
+        assert verify_loop(loop, good).ok
+
+    def test_iteration_space_not_fixed_at_entry(self):
+        # the body shrinks the bound: the sequential loop stops after
+        # one trip, while the entry-enumerated space has two
+        from repro.rewrite.clauses import ClausePlan
+
+        loop = parse_loop("for (i = 0; i < n + 2; i++) n = n - 1;")
+        bad = ClausePlan(var="i", reductions=(), private=("n",),
+                         firstprivate=(), lastprivate=(),
+                         local_decls=(), inner_vars=())
+        v = verify_loop(loop, bad)
+        assert not v.ok and v.code == "divergence"
+        assert "not fixed" in v.detail
+
+
+class TestRefusalCodes:
+    def test_unsupported_construct_on_unknown_call(self):
+        v = verdict("for (i = 0; i < n; i++) process(a[i]);")
+        assert not v.ok and v.code == "unsupported-construct"
+
+    def test_budget_exceeded(self):
+        cfg = VerifyConfig(max_steps=5)
+        v = verdict("for (i = 0; i < n; i++) a[i] = i;", config=cfg)
+        assert not v.ok and v.code == "budget-exceeded"
+
+    def test_no_iterations_on_zero_trip(self):
+        v = verdict("for (i = 0; i < 0; i++) a[i] = i;")
+        assert not v.ok and v.code == "no-iterations"
+
+    def test_non_canonical_refused_without_plan(self):
+        from repro.rewrite.clauses import ClausePlan
+
+        loop = parse_loop("while (x) x = x - 1;")
+        p = ClausePlan(var="x", reductions=(), private=(),
+                       firstprivate=(), lastprivate=(),
+                       local_decls=(), inner_vars=())
+        v = verify_loop(loop, p)
+        assert not v.ok and v.code == "non-canonical"
+
+
+class TestDeterminism:
+    def test_same_verdict_across_calls(self):
+        src = "for (i = 0; i < n; i++) s += a[i] * b[i];"
+        assert verdict(src).to_dict() == verdict(src).to_dict()
+
+    def test_fresh_parse_same_verdict(self):
+        src = "for (i = 1; i < n; i++) a[i] = a[i] + a[i - 1];"
+        assert verdict(src).to_dict() == verdict(src).to_dict()
+
+
+class TestIterationOrders:
+    @pytest.mark.parametrize("schedule", ["permuted", "blocked"])
+    @pytest.mark.parametrize("n", [0, 1, 5, 10])
+    @pytest.mark.parametrize("nthreads", [2, 4])
+    def test_order_is_a_permutation(self, schedule, n, nthreads):
+        order, thread_of = _iteration_order(n, schedule, nthreads, seed=0)
+        assert sorted(order) == list(range(n))
+        assert len(thread_of) == n
+        assert all(0 <= t < nthreads for t in thread_of)
+
+    def test_blocked_assigns_contiguous_chunks(self):
+        _, thread_of = _iteration_order(8, "blocked", 2, seed=0)
+        assert thread_of == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_permuted_actually_permutes(self):
+        order, _ = _iteration_order(10, "permuted", 2, seed=0)
+        assert order != list(range(10))
+
+    def test_permutation_is_seed_deterministic(self):
+        a, _ = _iteration_order(10, "permuted", 2, seed=3)
+        b, _ = _iteration_order(10, "permuted", 2, seed=3)
+        assert a == b
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(ValueError):
+            _iteration_order(4, "dynamic", 2, seed=0)

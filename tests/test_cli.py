@@ -465,6 +465,139 @@ class TestServerCLI:
         assert "HOST:PORT" in capsys.readouterr().err
 
 
+class TestRewriteDirCLI:
+    """`repro rewrite-dir`: suggestions applied as verified rewrites,
+    in-process and through the daemon."""
+
+    FLAGS = ["--scale", "0.005", "--epochs", "1", "--dim", "16"]
+
+    SCAN = """
+    double p[32];
+    void scan(void) {
+        int j;
+        for (j = 1; j < 32; j++) p[j] = p[j] + p[j - 1];
+    }
+    """
+
+    def _corpus(self, tmp_path):
+        src_dir = tmp_path / "corpus"
+        src_dir.mkdir()
+        (src_dir / "kernel.c").write_text(TestSuggestDirCLI.SOURCE)
+        (src_dir / "scan.c").write_text(self.SCAN)
+        return src_dir
+
+    def test_rewrites_over_directory(self, tmp_path, capsys):
+        import json
+
+        src_dir = self._corpus(tmp_path)
+        out = tmp_path / "rewrites.json"
+        code = main(["rewrite-dir", str(src_dir), *self.FLAGS,
+                     "--quiet", "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "3 loops across 2 files" in text
+        payload = json.loads(out.read_text())
+        by_name = {p["file"].rsplit("/", 1)[-1]: p for p in payload}
+        # the sum loop gets its synthesized reduction clause...
+        kernel = by_name["kernel.c"]
+        assert any("reduction(+:s)" in (r["pragma"] or "")
+                   for r in kernel["rewrites"])
+        assert "#pragma omp parallel for" in kernel["rewritten_source"]
+        # ...and the prefix scan never gains a pragma
+        scan = by_name["scan.c"]
+        assert all(not r["accepted"] for r in scan["rewrites"])
+        assert "#pragma" not in scan["rewritten_source"]
+
+    def test_rewritten_sources_reparse(self, tmp_path, capsys):
+        import json
+
+        from repro.cfront import parse_source, unparse
+
+        src_dir = self._corpus(tmp_path)
+        out = tmp_path / "rewrites.json"
+        assert main(["rewrite-dir", str(src_dir), *self.FLAGS,
+                     "--quiet", "--out", str(out)]) == 0
+        for record in json.loads(out.read_text()):
+            assert record["error"] is None
+            rewritten = record["rewritten_source"]
+            assert unparse(parse_source(rewritten)) == rewritten
+
+    def test_no_verify_skips_the_gate(self, tmp_path, capsys):
+        import json
+
+        src_dir = self._corpus(tmp_path)
+        out = tmp_path / "rewrites.json"
+        assert main(["rewrite-dir", str(src_dir), *self.FLAGS,
+                     "--no-verify", "--quiet", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        codes = {r["code"] for p in payload for r in p["rewrites"]}
+        assert "verified" not in codes and "divergence" not in codes
+
+    def test_stream_emits_ndjson_with_counts(self, tmp_path, capsys):
+        import json
+
+        src_dir = self._corpus(tmp_path)
+        code = main(["rewrite-dir", str(src_dir), *self.FLAGS,
+                     "--stream"])
+        assert code == 0
+        out, err = capsys.readouterr()
+        records = [json.loads(line) for line in out.splitlines()]
+        done = records.pop()
+        assert done["event"] == "done"
+        assert done["files"] == 2
+        assert done["loops"] == 3
+        assert done["accepted"] + done["refused"] <= 3
+        assert done["errors"] == 0
+        assert "3 loops across 2 files" in err
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        code = main(["rewrite-dir", str(tmp_path), *self.FLAGS])
+        assert code == 1
+        assert "no files" in capsys.readouterr().out
+
+    def test_server_round_trip_is_byte_identical(self, tmp_path, capsys):
+        """Acceptance: --server output matches the in-process path
+        byte for byte."""
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import get_context
+        from repro.serve import ServeConfig, SuggestServer, build_service
+
+        src_dir = self._corpus(tmp_path)
+        golden = tmp_path / "golden.json"
+        assert main(["rewrite-dir", str(src_dir), *self.FLAGS,
+                     "--quiet", "--out", str(golden)]) == 0
+
+        ctx = get_context(ExperimentConfig(scale=0.005, seed=7,
+                                           epochs=1, dim=16))
+        service = build_service(ctx, ServeConfig())
+        with SuggestServer({"default": service}).start() as srv:
+            served = tmp_path / "served.json"
+            assert main(["rewrite-dir", str(src_dir),
+                         "--server", srv.address,
+                         "--quiet", "--out", str(served)]) == 0
+            assert served.read_bytes() == golden.read_bytes()
+
+            # --no-verify travels the wire too
+            unverified = tmp_path / "unverified.json"
+            assert main(["rewrite-dir", str(src_dir),
+                         "--server", srv.address, "--no-verify",
+                         "--quiet", "--out", str(unverified)]) == 0
+            assert unverified.read_bytes() != golden.read_bytes()
+
+    def test_unreachable_server_fails_cleanly(self, tmp_path, capsys):
+        import socket
+
+        (tmp_path / "k.c").write_text(TestSuggestDirCLI.SOURCE)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["rewrite-dir", str(tmp_path),
+                     "--server", f"127.0.0.1:{port}"])
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+
 class TestUmbrellaCLI:
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 2

@@ -263,3 +263,122 @@ class TestIsDoall:
 
     def test_non_canonical_never_doall(self):
         assert not deps("while (x > 0) x--;").is_doall()
+
+
+def cond_deps(src):
+    return analyze_loop(parse_loop(src), conditional_reductions=True)
+
+
+class TestConditionalReductions:
+    """The clause synthesizer leans on conditional-update handling."""
+
+    def test_guarded_sum_needs_flag(self):
+        src = "for (i = 0; i < n; i++) if (a[i] > 0) s += a[i];"
+        assert not deps(src).reductions
+        r = cond_deps(src).reductions
+        assert [(x.var, x.op) for x in r] == [("s", "+")]
+
+    def test_guarded_sum_not_shared_with_flag(self):
+        src = "for (i = 0; i < n; i++) if (a[i] > 0) s += a[i];"
+        assert "s" in deps(src).shared_scalar_writes
+        assert "s" not in cond_deps(src).shared_scalar_writes
+
+    def test_else_branch_update_counts(self):
+        src = ("for (i = 0; i < n; i++)"
+               "  if (a[i] > 0) s += a[i]; else s += 1;")
+        r = cond_deps(src).reductions
+        assert [(x.var, x.op) for x in r] == [("s", "+")]
+
+    def test_guarded_mixed_ops_still_disqualified(self):
+        src = ("for (i = 0; i < n; i++)"
+               "  if (a[i] > 0) s += a[i]; else s *= 2;")
+        assert not cond_deps(src).reductions
+        assert "s" in cond_deps(src).shared_scalar_writes
+
+
+class TestCountingUpdates:
+    def test_increment_is_plus_reduction(self):
+        r = deps("for (i = 0; i < n; i++) count++;").reductions
+        assert [(x.var, x.op) for x in r] == [("count", "+")]
+
+    def test_decrement_is_plus_reduction(self):
+        r = deps("for (i = 0; i < n; i++) count--;").reductions
+        assert [(x.var, x.op) for x in r] == [("count", "+")]
+
+    def test_guarded_increment_needs_flag(self):
+        src = "for (i = 0; i < n; i++) if (a[i] > 0) count++;"
+        assert not deps(src).reductions
+        r = cond_deps(src).reductions
+        assert [(x.var, x.op) for x in r] == [("count", "+")]
+
+    def test_prefix_and_postfix_equivalent(self):
+        post = deps("for (i = 0; i < n; i++) hits++;").reductions
+        pre = deps("for (i = 0; i < n; i++) ++hits;").reductions
+        assert ([(x.var, x.op) for x in post]
+                == [(x.var, x.op) for x in pre])
+
+
+class TestChainedReductionOps:
+    def test_two_updates_same_op(self):
+        r = deps("for (i = 0; i < n; i++)"
+                 "  { s += a[i]; s += b[i]; }").reductions
+        assert [(x.var, x.op) for x in r] == [("s", "+")]
+        assert r[0].statements == 2
+
+    def test_three_updates_same_op(self):
+        r = deps("for (i = 0; i < n; i++)"
+                 "  { s += a[i]; s += b[i]; s += c[i]; }").reductions
+        assert [(x.var, x.op) for x in r] == [("s", "+")]
+
+    def test_chained_mixed_ops_disqualified(self):
+        d = deps("for (i = 0; i < n; i++) { s += a[i]; s *= b[i]; }")
+        assert not d.reductions
+        assert "s" in d.shared_scalar_writes
+
+    def test_independent_vars_chain_separately(self):
+        r = deps("for (i = 0; i < n; i++)"
+                 "  { s += a[i]; p *= b[i]; }").reductions
+        assert sorted((x.var, x.op) for x in r) == [("p", "*"),
+                                                    ("s", "+")]
+
+    def test_minus_then_plus_share_plus_family(self):
+        r = deps("for (i = 0; i < n; i++)"
+                 "  { s -= a[i]; s += b[i]; }").reductions
+        assert [(x.var, x.op) for x in r] == [("s", "+")]
+
+
+class TestPrivatizableVsLiveOut:
+    """analyze_loop classifies locally; liveness is the caller's job.
+
+    The rewrite planner (repro.rewrite.clauses) splits privatizable
+    into private/lastprivate using scalars_read_after — these tests pin
+    the classification it builds on.
+    """
+
+    def test_write_first_temporary_privatizable(self):
+        d = deps("for (i = 0; i < n; i++) { t = a[i]; b[i] = t * 2; }")
+        assert "t" in d.privatizable
+        assert "t" not in d.shared_scalar_writes
+
+    def test_block_decl_privatizable(self):
+        d = deps("for (i = 0; i < n; i++) { int t = a[i]; b[i] = t; }")
+        assert "t" in d.privatizable
+
+    def test_read_before_write_not_privatizable(self):
+        d = deps("for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }")
+        assert "t" not in d.privatizable
+        assert "t" in d.shared_scalar_writes
+
+    def test_conditional_first_write_not_privatizable(self):
+        d = deps("for (i = 0; i < n; i++)"
+                 "  { if (a[i] > 0) t = a[i]; b[i] = t; }")
+        assert "t" not in d.privatizable
+
+    def test_two_temporaries_both_privatizable(self):
+        d = deps("for (i = 0; i < n; i++)"
+                 "  { u = a[i]; v = u + 1; b[i] = u * v; }")
+        assert {"u", "v"} <= d.privatizable
+
+    def test_privatizable_is_not_a_reduction(self):
+        d = deps("for (i = 0; i < n; i++) { t = a[i]; b[i] = t; }")
+        assert not d.reductions
