@@ -38,6 +38,7 @@ HEADLINES: dict[str, tuple[str, ...]] = {
     "BENCH_serve.json": ("speedup", "end_to_end_speedup"),
     "BENCH_shard_scaling.json": ("speedup",),
     "BENCH_train.json": ("speedup",),
+    "BENCH_verify.json": ("compiled_speedup",),
     "BENCH_warm_cache.json": ("speedup",),
 }
 

@@ -373,7 +373,7 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
         ]
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
-        print(f"suggestions written to {args.out}")
+        print(f"suggestions written to {args.out}", file=summary_out)
     return 0
 
 
@@ -424,9 +424,10 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                              "--server, the *name* of a bundle the "
                              "daemon serves")
     parser.add_argument("--cache-dir", default=None,
-                        help="persistent suggestion cache shared with "
-                             "suggest-dir: warm runs skip parsing and "
-                             "inference for the suggestion stage "
+                        help="persistent cache shared with suggest-dir: "
+                             "warm runs skip parsing and inference for "
+                             "the suggestion stage and replay stored "
+                             "verdicts instead of re-simulating loops "
                              "(ignored with --server)")
     parser.add_argument("--scale", type=float, default=0.02,
                         help="training-set scale for the on-the-fly models")
@@ -537,7 +538,7 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                 results.append(r)
             by_name = {r.name: r for r in results}
             results = [by_name[str(p)] for p in paths]
-            _ndjson_record({
+            done = {
                 "event": "done",
                 "files": len(results),
                 "loops": sum(len(r.rewrites) for r in results),
@@ -545,7 +546,13 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                 "refused": sum(r.n_refused for r in results),
                 "errors": sum(1 for r in results if r.error),
                 "elapsed_s": round(time.perf_counter() - start, 3),
-            })
+            }
+            if service is not None:
+                # verifier counters (in-process only: the daemon keeps
+                # its own); "simulations": 0 is the warm-cache contract
+                done["verifier"] = service.cache_stats()["verify"]
+                done["simulations"] = done["verifier"]["simulations"]
+            _ndjson_record(done)
         elif client is not None:
             results = client.rewrite_paths(paths, bundle=args.bundle,
                                            verify=args.verify,
@@ -587,11 +594,18 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
           f"{n_accepted} rewritten, {n_refused} refused "
           f"({n_errors} unparseable) in {elapsed:.2f}s "
           f"({rate:.0f} loops/s)", file=summary_out)
+    if service is not None and args.verify:
+        v = service.cache_stats()["verify"]
+        print(f"verifier: {v['simulations']} simulations "
+              f"({v['compiled_runs']} compiled, "
+              f"{v['interpreted_runs']} interpreted runs, "
+              f"{v['cached_verdicts']} cached verdicts) in "
+              f"{v['elapsed_s']:.2f}s", file=summary_out)
     if args.out:
         payload = [_record(r) for r in results]
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
-        print(f"rewrites written to {args.out}")
+        print(f"rewrites written to {args.out}", file=summary_out)
     return 0
 
 
@@ -859,6 +873,8 @@ def cache_main(argv: list[str] | None = None) -> int:
             print(f"  suggest: {d['suggest']['entries']} entries "
                   f"({d['suggest']['bytes']} bytes) across "
                   f"{d['suggest']['models']} model fingerprints")
+            print(f"  verdict: {d['verdict']['entries']} entries "
+                  f"({d['verdict']['bytes']} bytes)")
         memo = payload["analyze_loop"]
         print(f"analyze_loop memo (this process): {memo['entries']} "
               f"entries, {memo['hits']} hits, {memo['misses']} misses")
@@ -879,7 +895,7 @@ def cache_main(argv: list[str] | None = None) -> int:
     print(f"cache gc: removed {result['removed_files']} entries "
           f"({result['removed_bytes']} bytes), kept "
           f"{result['kept_files']} ({result['kept_bytes']} bytes)")
-    for layer in ("parse", "suggest", "other"):
+    for layer in ("parse", "suggest", "verdict", "other"):
         counters = result["layers"][layer]
         if any(counters.values()):
             print(f"  {layer}: removed {counters['removed_files']} "

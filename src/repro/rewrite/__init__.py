@@ -19,11 +19,19 @@ from repro.rewrite.engine import (
     rewrite_file,
     rewrite_loop,
 )
-from repro.rewrite.verify import DEFAULT_CONFIG, Verdict, VerifyConfig, verify_loop
+from repro.rewrite.verify import (
+    DEFAULT_CONFIG,
+    VERIFIER_VERSION,
+    Verdict,
+    VerifyConfig,
+    verdict_key,
+    verify_loop,
+)
 
 __all__ = [
     "ACCEPT_CODES",
     "REFUSAL_CODES",
+    "VERIFIER_VERSION",
     "ClausePlan",
     "DEFAULT_CONFIG",
     "FileRewrite",
@@ -34,5 +42,6 @@ __all__ = [
     "plan_clauses",
     "rewrite_file",
     "rewrite_loop",
+    "verdict_key",
     "verify_loop",
 ]

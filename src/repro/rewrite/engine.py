@@ -33,6 +33,7 @@ ones.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.cfg.analysis import scalars_read_after
@@ -40,7 +41,13 @@ from repro.cfront import LexError, ParseError, parse_source, unparse
 from repro.cfront.parser import parse_loop
 from repro.dataset.extract import _outermost_loops
 from repro.rewrite.clauses import PlanError, plan_clauses
-from repro.rewrite.verify import VerifyConfig, verify_loop
+from repro.rewrite.verify import (
+    DEFAULT_CONFIG,
+    VerifyConfig,
+    revive_verdict,
+    verdict_key,
+    verify_loop,
+)
 
 #: codes of accepted rewrites
 ACCEPT_CODES = ("verified", "unverified")
@@ -92,6 +99,12 @@ class FileRewrite:
     rewrites: list[LoopRewrite] = field(default_factory=list)
     rewritten_source: str | None = None
     error: str | None = None
+    #: per-file verifier counters (simulations, compiled vs interpreted
+    #: runs, cached verdicts, elapsed seconds) — local observability
+    #: only: excluded from equality and from the wire payload, so the
+    #: byte-identity contracts with PR 7 outputs hold
+    verifier: dict | None = field(default=None, compare=False,
+                                  repr=False)
 
     @property
     def n_accepted(self) -> int:
@@ -133,16 +146,44 @@ def _strip_unparse(loop) -> str:
         loop.pragmas = saved
 
 
+def _verdict_for(loop, loop_source: str, plan, config, store,
+                 stats: dict | None):
+    """The verdict for one planned loop: persistent cache first (keyed
+    by loop source, plan, config fingerprint and verifier version),
+    simulation only on a miss.  ``store`` is duck-typed — anything with
+    ``get_verdict``/``put_verdict`` (the serve layer's
+    ``SuggestionStore``) or ``None``."""
+    key = None
+    if store is not None and hasattr(store, "get_verdict"):
+        key = verdict_key(loop_source, plan, config or DEFAULT_CONFIG)
+        verdict = revive_verdict(store.get_verdict(key))
+        if verdict is not None:
+            if stats is not None:
+                stats["cached_verdicts"] = \
+                    stats.get("cached_verdicts", 0) + 1
+            return verdict
+    verdict = verify_loop(loop, plan, config, stats=stats)
+    if key is not None:
+        store.put_verdict(key, verdict.to_dict())
+    return verdict
+
+
 def _attempt(loop, loop_source: str, live_out: frozenset[str],
-             verify: bool, config: VerifyConfig | None) -> LoopRewrite:
+             verify: bool, config: VerifyConfig | None,
+             store=None, stats: dict | None = None) -> LoopRewrite:
     """Plan, verify, and (on acceptance) attach the pragma to ``loop``."""
+    t0 = time.perf_counter()
     try:
         plan = plan_clauses(loop, live_out)
     except PlanError as exc:
         return LoopRewrite(loop_source=loop_source, accepted=False,
                            code=exc.code, detail=exc.detail)
     if verify:
-        verdict = verify_loop(loop, plan, config)
+        verdict = _verdict_for(loop, loop_source, plan, config, store,
+                               stats)
+        if stats is not None:
+            stats["elapsed_s"] = (stats.get("elapsed_s", 0.0)
+                                  + time.perf_counter() - t0)
         if not verdict.ok:
             return LoopRewrite(loop_source=loop_source, accepted=False,
                                code=verdict.code, detail=verdict.detail)
@@ -160,7 +201,8 @@ def _attempt(loop, loop_source: str, live_out: frozenset[str],
 def rewrite_loop(loop_source: str,
                  live_out: frozenset[str] = frozenset(), *,
                  verify: bool = True,
-                 config: VerifyConfig | None = None) -> LoopRewrite:
+                 config: VerifyConfig | None = None,
+                 store=None, stats: dict | None = None) -> LoopRewrite:
     """Rewrite one bare loop snippet (no model in the loop: the caller
     asserts parallel intent; analysis and the verifier gate it)."""
     try:
@@ -170,12 +212,14 @@ def rewrite_loop(loop_source: str,
                            code="unparseable", detail=str(exc))
     loop.pragmas = []
     return _attempt(loop, loop_source, frozenset(live_out),
-                    verify=verify, config=config)
+                    verify=verify, config=config, store=store,
+                    stats=stats)
 
 
 def rewrite_file(name: str, source: str, file_suggestions, *,
                  verify: bool = True,
-                 config: VerifyConfig | None = None) -> FileRewrite:
+                 config: VerifyConfig | None = None,
+                 store=None, stats: dict | None = None) -> FileRewrite:
     """Apply one file's suggestions as verified AST rewrites.
 
     ``file_suggestions`` is a
@@ -185,6 +229,10 @@ def rewrite_file(name: str, source: str, file_suggestions, *,
     ``misaligned`` rather than guessing.  The returned
     ``rewritten_source`` is the whole file with accepted pragmas
     attached — refused and sequential loops keep their original text.
+
+    ``store`` (optional, duck-typed) serves cached verdicts; ``stats``
+    (optional dict) accumulates the verifier counters also attached to
+    the result as ``FileRewrite.verifier``.
     """
     error = getattr(file_suggestions, "error", None)
     suggestions = getattr(file_suggestions, "suggestions",
@@ -212,6 +260,9 @@ def rewrite_file(name: str, source: str, file_suggestions, *,
                       for s in suggestions],
             rewritten_source=unparse(tu),
         )
+    fstats = {"simulations": 0, "compiled_runs": 0,
+              "interpreted_runs": 0, "cached_verdicts": 0,
+              "elapsed_s": 0.0}
     rewrites: list[LoopRewrite] = []
     for (fn, loop), suggestion in zip(located, suggestions):
         if not suggestion.parallel:
@@ -228,6 +279,10 @@ def rewrite_file(name: str, source: str, file_suggestions, *,
             continue
         live_out = frozenset(scalars_read_after(fn.body, loop))
         rewrites.append(_attempt(loop, suggestion.loop_source, live_out,
-                                 verify=verify, config=config))
+                                 verify=verify, config=config,
+                                 store=store, stats=fstats))
+    if stats is not None:
+        for key, value in fstats.items():
+            stats[key] = stats.get(key, 0) + value
     return FileRewrite(name=name, rewrites=rewrites,
-                       rewritten_source=unparse(tu))
+                       rewritten_source=unparse(tu), verifier=fstats)

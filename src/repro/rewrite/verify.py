@@ -26,22 +26,51 @@ Refusal codes are stable strings shared with the engine and the wire:
 The whole procedure is a pure function of ``(loop, plan, config)``:
 fixed seeds, seeded permutations, deterministic input synthesis — so
 the daemon and the in-process path produce byte-identical verdicts.
+
+**Fast path.**  Verification cost used to be ~7× the unverified
+pipeline; three structural changes close most of that gap without
+moving a single observable bit:
+
+- loops execute through :func:`repro.tools.compile.compile_loop` —
+  one lowering shared by the sequential reference and every simulated
+  run — falling back to the tree-walker whenever compilation is
+  unavailable (``config.compiled=False``, ``REPRO_NO_LOOP_COMPILE``,
+  or an uncompilable shape);
+- simulated-parallel runs only compare observable end-state, so they
+  run the *trace-elided* compiled body (no per-access bookkeeping);
+  the sequential reference keeps exact trip accounting, and
+  :meth:`Interpreter.run_loop` still produces full traces for the
+  dependence analyses;
+- input synthesis and iteration-space enumeration happen once per
+  seed; every run restores a :meth:`Memory.checkpoint` instead of
+  re-preparing a fresh interpreter.
+
+``verdict_key`` fingerprints ``(loop source, plan, config,
+VERIFIER_VERSION)`` for the persistent verdict cache; bump
+:data:`VERIFIER_VERSION` whenever verification semantics change so
+stale verdicts self-invalidate.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.cfront.nodes import Stmt
 from repro.rewrite.clauses import ClausePlan
 from repro.tools.canonical import recognize_canonical
+from repro.tools.compile import CompileUnavailable, compile_loop
 from repro.tools.interp import (
     ExecutionBudgetExceeded,
     Interpreter,
     UnsupportedConstruct,
     _ContinueSignal,
 )
+
+#: bumped whenever a change alters what (or how) verification computes;
+#: part of every verdict-cache key, so stale entries miss
+VERIFIER_VERSION = 2
 
 #: reduction identity per operator (the value each thread copy starts
 #: from; ``-=`` accumulates negated contributions under op ``+``, so
@@ -64,6 +93,10 @@ class VerifyConfig:
     array extent deliberately exceeds ``max_trip`` so the interpreter's
     index wrap-around cannot manufacture order dependences that the
     real (unbounded) loop does not have.
+
+    ``compiled`` toggles the compiled fast path; verdicts are
+    byte-identical either way (the parity suite enforces it), so it is
+    excluded from the cache fingerprint.
     """
 
     seeds: tuple[int, ...] = (0, 1)
@@ -74,6 +107,7 @@ class VerifyConfig:
     max_steps: int = 60_000
     rel_tol: float = 1e-6
     abs_tol: float = 1e-9
+    compiled: bool = True
 
 
 @dataclass(frozen=True)
@@ -89,6 +123,49 @@ class Verdict:
 
 
 DEFAULT_CONFIG = VerifyConfig()
+
+
+def config_fingerprint(config: VerifyConfig) -> str:
+    """Deterministic fingerprint of every verdict-affecting knob.
+
+    ``compiled`` is excluded: both execution paths produce identical
+    verdicts, so they share cache entries.
+    """
+    return ";".join(
+        f"{f.name}={getattr(config, f.name)!r}"
+        for f in fields(config) if f.name != "compiled")
+
+
+def verdict_key(loop_source: str, plan: ClausePlan,
+                config: VerifyConfig) -> str:
+    """Content key of one verification outcome, for the persistent
+    verdict cache: loop structure (its unparsed source), the complete
+    clause plan, the config fingerprint and the verifier version."""
+    blob = "\n".join([
+        f"verifier-v{VERIFIER_VERSION}",
+        loop_source,
+        repr(plan),                     # sorted tuples: deterministic
+        config_fingerprint(config),
+    ])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def revive_verdict(payload: object) -> Verdict | None:
+    """Rebuild a cached verdict; ``None`` (a cache miss) on anything
+    malformed — a torn or stale entry must never decide a rewrite."""
+    if not isinstance(payload, dict):
+        return None
+    ok, code = payload.get("ok"), payload.get("code")
+    detail = payload.get("detail", "")
+    if not isinstance(ok, bool) or not isinstance(code, str) \
+            or not isinstance(detail, str):
+        return None
+    return Verdict(ok, code, detail)
+
+
+def _bump(stats: dict | None, key: str, n: int = 1) -> None:
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + n
 
 
 def _interp(config: VerifyConfig, seed: int) -> Interpreter:
@@ -204,13 +281,34 @@ def _poison(thread: int) -> float:
     return -10_000_007.0 - 7.0 * thread
 
 
-def _simulate(loop, plan: ClausePlan, canonical, seed: int,
-              schedule: str, nthreads: int,
-              config: VerifyConfig) -> tuple[dict, int]:
-    """One simulated-parallel execution → (observable snapshot, trips)."""
-    interp = _interp(config, seed)
-    interp.prepare(loop)
-    values, step = _enumerate_iterations(interp, loop, canonical, config)
+def _run_reference(interp: Interpreter, loop, compiled,
+                   stats: dict | None) -> int:
+    """The sequential reference over an already-prepared interpreter;
+    returns the executed trip count.  Uses the trace-elided compiled
+    run when available (end-state and step accounting are identical;
+    nothing reads the reference trace here)."""
+    if compiled is not None:
+        try:
+            trips = compiled.run(interp, traced=False)
+            _bump(stats, "compiled_runs")
+            return trips
+        except CompileUnavailable:
+            pass
+    _bump(stats, "interpreted_runs")
+    interp._target_loop = loop
+    interp._exec_loop(loop, traced=True)
+    return interp.trace.iterations
+
+
+def _simulate(interp: Interpreter, loop, plan: ClausePlan, canonical,
+              values: list, step, seed: int, schedule: str,
+              nthreads: int, config: VerifyConfig, compiled,
+              stats: dict | None) -> tuple[dict, int]:
+    """One simulated-parallel execution → (observable snapshot, trips).
+
+    ``interp`` arrives restored to the post-enumeration checkpoint, so
+    this runs exactly what a fresh prepare-and-enumerate would."""
+    _bump(stats, "simulations")
     mem = interp.memory
 
     def addr(name: str) -> int:
@@ -246,20 +344,31 @@ def _simulate(loop, plan: ClausePlan, canonical, seed: int,
     last_idx = len(values) - 1
     last_vals: dict[str, object] = {}
     lastprivate = [n for n in plan.lastprivate if n != canonical.var]
+    # the trace-elided fast path: one compiled body execution per
+    # iteration, no per-access bookkeeping (only end-state is compared)
+    run_body = compiled.run_body if compiled is not None else None
     for k in order:
         t = thread_of[k]
         for name, a in addrs.items():
             mem.write(a, state[t][name])
         mem.write(var_addr, values[k])
-        try:
-            interp.exec_stmt(loop.body)
-        except _ContinueSignal:
-            pass
+        if run_body is not None:
+            try:
+                run_body(interp)
+            except CompileUnavailable:
+                run_body = None     # state untouched; same iteration
+        if run_body is None:
+            try:
+                interp.exec_stmt(loop.body)
+            except _ContinueSignal:
+                pass
         if k == last_idx and lastprivate:
             last_vals = {name: mem.read(addrs[name])
                          for name in lastprivate}
         for name, a in addrs.items():
             state[t][name] = mem.read(a)
+    _bump(stats,
+          "compiled_runs" if run_body is not None else "interpreted_runs")
 
     # region exit: originals restored, reductions combined in thread
     # order, lastprivate values from the logically last iteration
@@ -297,7 +406,8 @@ def _observable_exclusions(plan: ClausePlan, var: str) -> frozenset[str]:
 
 
 def verify_loop(loop: Stmt, plan: ClausePlan,
-                config: VerifyConfig | None = None) -> Verdict:
+                config: VerifyConfig | None = None,
+                stats: dict | None = None) -> Verdict:
     """Differentially verify one planned rewrite.
 
     Runs the loop sequentially and under every configured
@@ -305,6 +415,9 @@ def verify_loop(loop: Stmt, plan: ClausePlan,
     comparing observable post-loop memory.  Returns a
     :class:`Verdict` — never raises for interpreter-level failures;
     those become stable refusal codes.
+
+    ``stats`` (optional) accumulates fast-path counters in place:
+    ``simulations``, ``compiled_runs``, ``interpreted_runs``.
     """
     config = config or DEFAULT_CONFIG
     canonical = recognize_canonical(loop)
@@ -312,23 +425,39 @@ def verify_loop(loop: Stmt, plan: ClausePlan,
         return Verdict(False, "non-canonical",
                        "cannot enumerate the iteration space of a "
                        "non-canonical loop")
+    compiled = compile_loop(loop) if config.compiled else None
+    exclude = _observable_exclusions(plan, canonical.var)
     total_trips = 0
     runs = 0
     for seed in config.seeds:
+        interp = _interp(config, seed)
         try:
-            ref_interp = _interp(config, seed)
-            ref_trace = ref_interp.run_loop(loop)
-            ref = _snapshot(ref_interp.memory,
-                            _observable_exclusions(plan, canonical.var))
+            interp.prepare(loop)
+            prepared = interp.memory.checkpoint()
+            ref_iterations = _run_reference(interp, loop, compiled, stats)
+            ref = _snapshot(interp.memory, exclude)
+            interp.memory.restore(prepared)
+            interp.steps = 0
+            values, step = _enumerate_iterations(interp, loop,
+                                                 canonical, config)
         except UnsupportedConstruct as exc:
             return Verdict(False, "unsupported-construct", str(exc))
         except ExecutionBudgetExceeded as exc:
             return Verdict(False, "budget-exceeded", str(exc))
+        enumerated = interp.memory.checkpoint()
+        enumerated_steps = interp.steps
+        first = True
         for schedule in config.schedules:
             for nthreads in config.threads:
+                if not first:
+                    interp.memory.restore(enumerated)
+                    interp.steps = enumerated_steps
+                first = False
                 try:
-                    got, trips = _simulate(loop, plan, canonical, seed,
-                                           schedule, nthreads, config)
+                    got, trips = _simulate(interp, loop, plan,
+                                           canonical, values, step,
+                                           seed, schedule, nthreads,
+                                           config, compiled, stats)
                 except UnsupportedConstruct as exc:
                     return Verdict(False, "unsupported-construct",
                                    str(exc))
@@ -336,11 +465,11 @@ def verify_loop(loop: Stmt, plan: ClausePlan,
                     return Verdict(False, "budget-exceeded", str(exc))
                 runs += 1
                 total_trips += trips
-                if trips != ref_trace.iterations:
+                if trips != ref_iterations:
                     return Verdict(
                         False, "divergence",
                         f"sequential execution ran "
-                        f"{ref_trace.iterations} iterations but the "
+                        f"{ref_iterations} iterations but the "
                         f"enumerated schedule has {trips} (seed "
                         f"{seed}): the iteration space is not fixed "
                         f"at region entry")

@@ -204,6 +204,9 @@ class SuggestionService:
         self._collate_cache: dict = {}
         self._forwards = {"calls": 0, "graphs": 0}
         self._coalesce = {"rounds": 0, "requests": 0, "deduped_files": 0}
+        self._verify_stats = {"simulations": 0, "compiled_runs": 0,
+                              "interpreted_runs": 0,
+                              "cached_verdicts": 0, "elapsed_s": 0.0}
         self.suggester = PragmaSuggester(
             self._wrap(parallel_model),
             {name: self._wrap(m) for name, m in clause_models.items()},
@@ -439,6 +442,24 @@ class SuggestionService:
 
     # -- rewriting -----------------------------------------------------------
 
+    def iter_rewrites(
+        self, named_sources: list[tuple[str, str]], *,
+        verify: bool = True, rewrite_config=None,
+    ) -> Iterator[tuple[int, "FileRewrite"]]:
+        """In-process rewrite core: suggestions off :meth:`iter_sources`
+        applied as verified AST rewrites the moment they complete, with
+        the persistent verdict layer and this service's verifier
+        counters threaded through.  Shard workers drive this directly.
+        """
+        from repro.rewrite import rewrite_file
+
+        named = list(named_sources)
+        for i, fs in self.iter_sources(named):
+            yield i, rewrite_file(named[i][0], named[i][1], fs,
+                                  verify=verify, config=rewrite_config,
+                                  store=self.store,
+                                  stats=self._verify_stats)
+
     def stream_rewrite_tagged(
         self, named_sources: list[tuple[str, str]], *,
         verify: bool = True, shards: int | str | None = None,
@@ -446,20 +467,33 @@ class SuggestionService:
     ) -> Iterator[tuple[int, "FileRewrite"]]:
         """``(input_index, FileRewrite)`` pairs in completion order.
 
-        Each file's suggestions come off :meth:`stream_tagged` — the
-        same store/dedup/sharding path as plain suggesting, so cached
-        suggestions still skip parse and inference — and are applied as
-        verified AST rewrites by :func:`repro.rewrite.rewrite_file` the
-        moment they complete.  The rewrite pass is deterministic, so
-        results are byte-identical across shard counts, orderings, and
-        the daemon path.
+        Each file's suggestions come off the same store/dedup path as
+        plain suggesting — cached suggestions still skip parse and
+        inference, cached verdicts skip simulation — and are applied as
+        verified AST rewrites the moment they complete.  With
+        ``shards > 1`` the *whole* pipeline including verification runs
+        inside the shard workers, so verification distributes across
+        processes too.  The rewrite pass is deterministic, so results
+        are byte-identical across shard counts, orderings, and the
+        daemon path.
         """
-        from repro.rewrite import rewrite_file
+        from repro.rewrite import FileRewrite
+        from repro.serve.plan import resolve_shards
+        from repro.serve.stream import stream_shards
 
         named = list(named_sources)
-        for i, fs in self.stream_tagged(named, shards=shards):
-            yield i, rewrite_file(named[i][0], named[i][1], fs,
-                                  verify=verify, config=rewrite_config)
+        n_shards = resolve_shards(
+            self.config.shards if shards is None else shards, named)
+        if n_shards > 1 and len(named) > 1:
+            return stream_shards(
+                self._worker_spec(mode="rewrite", verify=verify,
+                                  verify_config=rewrite_config),
+                named, n_shards,
+                on_stats=self._absorb_worker_stats,
+                revive=FileRewrite.from_payload,
+            )
+        return self.iter_rewrites(named, verify=verify,
+                                  rewrite_config=rewrite_config)
 
     def stream_rewrite_sources(
         self, named_sources: list[tuple[str, str]], *,
@@ -515,7 +549,8 @@ class SuggestionService:
 
     # -- sharding support ----------------------------------------------------
 
-    def _worker_spec(self):
+    def _worker_spec(self, mode: str = "suggest", verify: bool = True,
+                     verify_config=None):
         """Picklable recipe for rebuilding this service in a worker."""
         from repro.serve.worker import WorkerSpec
 
@@ -531,19 +566,29 @@ class SuggestionService:
             models=(None if self._bundle_path is not None
                     else (parallel, clause_models)),
             clauses=tuple(sorted(clause_models)),
+            mode=mode,
+            verify=verify,
+            verify_config=verify_config,
         )
 
     def _absorb_worker_stats(self, stats: dict) -> None:
         """Fold one shard worker's ``cache_stats()`` into this service,
-        so forward counts and store hit rates stay meaningful when the
-        pipeline ran in child processes."""
+        so forward counts, verifier counters and store hit rates stay
+        meaningful when the pipeline ran in child processes."""
         forwards = stats.get("forwards") or {}
         self._forwards["calls"] += int(forwards.get("calls", 0))
         self._forwards["graphs"] += int(forwards.get("graphs", 0))
+        verify_stats = stats.get("verify") or {}
+        for key in self._verify_stats:
+            value = verify_stats.get(key, 0)
+            self._verify_stats[key] += (float(value)
+                                        if key == "elapsed_s"
+                                        else int(value))
         store_stats = stats.get("store")
         if self.store is not None and store_stats:
             for attr in ("parse_hits", "parse_misses",
-                         "suggest_hits", "suggest_misses"):
+                         "suggest_hits", "suggest_misses",
+                         "verdict_hits", "verdict_misses"):
                 setattr(self.store, attr,
                         getattr(self.store, attr)
                         + int(store_stats.get(attr, 0)))
@@ -561,6 +606,7 @@ class SuggestionService:
         }
         stats["forwards"] = dict(self._forwards)
         stats["coalesce"] = dict(self._coalesce)
+        stats["verify"] = dict(self._verify_stats)
         if self.store is not None:
             stats["store"] = self.store.stats()
         return stats

@@ -874,20 +874,25 @@ class SuggestServer:
         return list(chunks.items())
 
     @staticmethod
-    def _transform(pending: _Pending, index: int, fs):
+    def _transform(pending: _Pending, index: int, fs, service=None):
         """Apply the request's post-pass to one finished file.
 
         Runs on the compute thread — a rewrite request's interpreter
         verification must never touch the event loop.  Suggestion
         coalescing is unaffected: rewrites are a deterministic
-        per-file function of the shared suggestion result.
+        per-file function of the shared suggestion result.  ``service``
+        (the lane's) supplies the persistent verdict cache and the
+        verifier counters; results are byte-identical without it.
         """
         if isinstance(pending.request, protocol.RewriteRequest):
             from repro.rewrite import rewrite_file
 
             _, name, source = pending.files[index]
-            return rewrite_file(name, source, fs,
-                                verify=pending.request.verify)
+            return rewrite_file(
+                name, source, fs, verify=pending.request.verify,
+                store=None if service is None else service.store,
+                stats=None if service is None
+                else service._verify_stats)
         return fs
 
     def _compute_round(self, lane: _Lane,
@@ -915,7 +920,8 @@ class SuggestServer:
                 try:
                     for local_i, fs in results:
                         index = indices[local_i]
-                        out = self._transform(pending, index, fs)
+                        out = self._transform(pending, index, fs,
+                                              service)
                         loop.call_soon_threadsafe(
                             pending.deliver, index, out)
                 finally:
@@ -932,7 +938,7 @@ class SuggestServer:
                 for tag, local_i, fs in service.iter_joint(workloads):
                     pending, indices = tag
                     index = indices[local_i]
-                    out = self._transform(pending, index, fs)
+                    out = self._transform(pending, index, fs, service)
                     loop.call_soon_threadsafe(
                         pending.deliver, index, out)
         except Exception:

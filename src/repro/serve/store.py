@@ -1,19 +1,27 @@
 """Persistent (cross-process) caches for the suggestion service.
 
 The in-memory :class:`~repro.graphs.encode.EncodeCache` dies with the
-process; this store survives it.  Two layers, both keyed by the
-SHA-256 of a file's *content* (renames stay warm, edits invalidate
-exactly the files they touch):
+process; this store survives it.  Three layers, all content-keyed
+(renames stay warm, edits invalidate exactly the entries they touch):
 
 ``parse/``
-    extracted loop requests per file — model-independent, so a new
-    bundle still reuses the expensive pure-python frontend work.
+    extracted loop requests per file, keyed by the SHA-256 of the
+    file's content — model-independent, so a new bundle still reuses
+    the expensive pure-python frontend work.
 ``suggest/<model_key>/``
     finished per-file suggestions, additionally keyed by the serving
     models' fingerprint so retrained or swapped models never replay
     stale advice.
+``verdict/``
+    verification outcomes per loop, keyed by
+    :func:`repro.rewrite.verify.verdict_key` — the SHA-256 of (loop
+    source, clause plan, verify-config fingerprint, verifier version).
+    A warm ``rewrite-dir`` run replays verdicts instead of simulating;
+    any change to the loop, the plan, the budgets, or the verifier
+    itself changes the key, so stale verdicts can never gate a rewrite.
 
-Layout: ``<root>/v<STORE_VERSION>/{parse,suggest/<model_key>}/<sha>.json``.
+Layout: ``<root>/v<STORE_VERSION>/{parse,suggest/<model_key>,verdict}/
+<sha>.json``.
 Writes go through a temp file + :func:`os.replace`, so concurrent
 writers (the multiprocess parse stage, parallel ``suggest-dir`` runs
 over one cache) can only ever observe complete entries; unreadable or
@@ -49,6 +57,8 @@ class SuggestionStore:
         self.parse_misses = 0
         self.suggest_hits = 0
         self.suggest_misses = 0
+        self.verdict_hits = 0
+        self.verdict_misses = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -57,6 +67,9 @@ class SuggestionStore:
 
     def _suggest_path(self, model_key: str, key: str) -> Path:
         return self.root / "suggest" / model_key / f"{key}.json"
+
+    def _verdict_path(self, key: str) -> Path:
+        return self.root / "verdict" / f"{key}.json"
 
     # -- raw IO --------------------------------------------------------------
 
@@ -110,12 +123,27 @@ class SuggestionStore:
                         payload: dict) -> None:
         self._write(self._suggest_path(model_key, key), payload)
 
+    # -- verdict layer -------------------------------------------------------
+
+    def get_verdict(self, key: str) -> dict | None:
+        payload = self._read(self._verdict_path(key))
+        if payload is None:
+            self.verdict_misses += 1
+        else:
+            self.verdict_hits += 1
+        return payload
+
+    def put_verdict(self, key: str, payload: dict) -> None:
+        self._write(self._verdict_path(key), payload)
+
     # -- eviction ------------------------------------------------------------
 
     def _layer_of(self, path: Path) -> str:
         """Which cache layer a stored entry belongs to."""
         if path.parent.name == "parse":
             return "parse"
+        if path.parent.name == "verdict":
+            return "verdict"
         if path.parent.parent.name == "suggest":
             return "suggest"
         return "other"
@@ -141,8 +169,8 @@ class SuggestionStore:
         Returns a structured report: ``removed_files`` /
         ``removed_bytes`` / ``kept_files`` / ``kept_bytes`` totals,
         plus the same four counters per layer under ``layers`` (keys
-        ``parse``, ``suggest``, and ``other`` for entries no current
-        layout owns).
+        ``parse``, ``suggest``, ``verdict``, and ``other`` for entries
+        no current layout owns).
         """
         if now is None:
             now = time.time()
@@ -180,7 +208,7 @@ class SuggestionStore:
         layers = {
             layer: {"removed_files": 0, "removed_bytes": 0,
                     "kept_files": 0, "kept_bytes": 0}
-            for layer in ("parse", "suggest", "other")
+            for layer in ("parse", "suggest", "verdict", "other")
         }
         for _, size, path in evicted:
             try:
@@ -210,6 +238,8 @@ class SuggestionStore:
             "parse_misses": self.parse_misses,
             "suggest_hits": self.suggest_hits,
             "suggest_misses": self.suggest_misses,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
         }
 
     def describe(self) -> dict:
@@ -224,6 +254,7 @@ class SuggestionStore:
         layers = {
             "parse": {"entries": 0, "bytes": 0},
             "suggest": {"entries": 0, "bytes": 0, "models": 0},
+            "verdict": {"entries": 0, "bytes": 0},
         }
         if self.base.is_dir():
             model_keys: set[str] = set()
@@ -236,6 +267,9 @@ class SuggestionStore:
                 if layer.name == "parse":
                     layers["parse"]["entries"] += 1
                     layers["parse"]["bytes"] += size
+                elif layer.name == "verdict":
+                    layers["verdict"]["entries"] += 1
+                    layers["verdict"]["bytes"] += size
                 elif layer.parent.name == "suggest":
                     layers["suggest"]["entries"] += 1
                     layers["suggest"]["bytes"] += size
@@ -246,5 +280,6 @@ class SuggestionStore:
             "exists": self.base.is_dir(),
             **layers,
             "total_bytes": layers["parse"]["bytes"]
-            + layers["suggest"]["bytes"],
+            + layers["suggest"]["bytes"]
+            + layers["verdict"]["bytes"],
         }

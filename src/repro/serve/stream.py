@@ -63,20 +63,25 @@ def merge_results(
 
 def stream_shards(
     spec, named_sources: list[tuple[str, str]], n_shards: int,
-    on_stats=None,
+    on_stats=None, revive=None,
 ) -> Iterator[tuple[int, FileSuggestions]]:
     """Run ``named_sources`` through ``n_shards`` worker processes.
 
     ``spec`` is a :class:`~repro.serve.worker.WorkerSpec`; each worker
     rebuilds the full service from it, runs parse → encode → forward →
-    fan-out locally for its shard, commits to the shared persistent
-    store, and streams per-file results back as they complete.
-    ``on_stats`` receives each worker's ``cache_stats()`` dict when its
-    shard finishes, so the parent can fold shard work into its own
-    counters.
+    fan-out (plus verified rewriting in ``mode="rewrite"``) locally for
+    its shard, commits to the shared persistent store, and streams
+    per-file results back as they complete.  ``on_stats`` receives each
+    worker's ``cache_stats()`` dict when its shard finishes, so the
+    parent can fold shard work into its own counters.  ``revive``
+    rebuilds each result from its ``(name, payload)`` wire form;
+    default: :meth:`FileSuggestions.from_payload` (rewrite streams pass
+    :meth:`FileRewrite.from_payload`).
     """
     from repro.serve.worker import worker_main
 
+    if revive is None:
+        revive = FileSuggestions.from_payload
     shards = plan_shards(list(named_sources), n_shards)
     if not shards:
         return
@@ -96,7 +101,12 @@ def stream_shards(
             proc.terminate()
         service = spec.build_service()
         named = list(named_sources)
-        yield from service.iter_sources(named)
+        if getattr(spec, "mode", "suggest") == "rewrite":
+            yield from service.iter_rewrites(
+                named, verify=spec.verify,
+                rewrite_config=spec.verify_config)
+        else:
+            yield from service.iter_sources(named)
         if on_stats is not None:
             on_stats(service.cache_stats())
         return
@@ -113,7 +123,8 @@ def stream_shards(
                     # Drain messages that raced the exit before judging.
                     leftovers = _drain(queue)
                     for kind, sid, *rest in leftovers:
-                        yield from _handle(kind, sid, rest, done, on_stats)
+                        yield from _handle(kind, sid, rest, done,
+                                           on_stats, revive)
                     still_dead = [sid for sid in dead if sid not in done]
                     if still_dead:
                         codes = {sid: procs[sid].exitcode
@@ -125,7 +136,7 @@ def stream_shards(
                             f"discarded"
                         )
                 continue
-            yield from _handle(kind, sid, rest, done, on_stats)
+            yield from _handle(kind, sid, rest, done, on_stats, revive)
         for proc in procs.values():
             proc.join(timeout=_JOIN_S)
     finally:
@@ -137,11 +148,11 @@ def stream_shards(
 
 
 def _handle(kind: str, sid: int, rest: list, done: set[int],
-            on_stats) -> Iterator[tuple[int, FileSuggestions]]:
+            on_stats, revive) -> Iterator[tuple[int, FileSuggestions]]:
     """Dispatch one worker message, yielding any finished file."""
     if kind == "file":
         index, name, payload = rest
-        yield index, FileSuggestions.from_payload(name, payload)
+        yield index, revive(name, payload)
     elif kind == "done":
         done.add(sid)
         if on_stats is not None:

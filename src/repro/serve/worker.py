@@ -38,6 +38,13 @@ class WorkerSpec:
     ``(parallel_model, clause_models)`` pair by pickle.  ``clauses``
     restricts which clause families a bundle-backed worker serves, so
     workers agree with the parent's model key.
+
+    ``mode`` selects what the worker streams back: ``"suggest"`` (the
+    default) runs the suggestion pipeline, ``"rewrite"`` additionally
+    applies and verifies rewrites inside the worker — this is what
+    distributes verification across shards.  ``verify`` /
+    ``verify_config`` are the rewrite knobs (a frozen
+    :class:`~repro.rewrite.verify.VerifyConfig` pickles fine).
     """
 
     config: ServeConfig
@@ -45,6 +52,9 @@ class WorkerSpec:
     bundle_path: str | None = None
     models: tuple | None = None
     clauses: tuple[str, ...] = field(default_factory=tuple)
+    mode: str = "suggest"
+    verify: bool = True
+    verify_config: object | None = None
 
     def build_service(self) -> SuggestionService:
         if self.bundle_path is not None:
@@ -77,9 +87,15 @@ def worker_main(spec: WorkerSpec, shard, queue) -> None:
     """
     try:
         service = spec.build_service()
-        for local_index, fs in service.iter_sources(shard.items):
+        if spec.mode == "rewrite":
+            results = service.iter_rewrites(
+                shard.items, verify=spec.verify,
+                rewrite_config=spec.verify_config)
+        else:
+            results = service.iter_sources(shard.items)
+        for local_index, result in results:
             queue.put(("file", shard.sid, shard.indices[local_index],
-                       fs.name, fs.to_payload()))
+                       result.name, result.to_payload()))
         queue.put(("done", shard.sid, service.cache_stats()))
     except BaseException:
         queue.put(("error", shard.sid, traceback.format_exc()))

@@ -146,6 +146,32 @@ class Memory:
     def write(self, addr: int, value) -> None:
         self.cells[addr].value = value
 
+    def checkpoint(self) -> tuple:
+        """A restorable snapshot of the whole address space.
+
+        The verifier uses this to share one input synthesis across
+        many simulated runs instead of re-preparing a fresh
+        interpreter per run.
+        """
+        return (self._next, dict(self.bases),
+                {addr: cell.value for addr, cell in self.cells.items()})
+
+    def restore(self, state: tuple) -> None:
+        """Reset the address space to a :meth:`checkpoint`."""
+        nxt, bases, values = state
+        self._next = nxt
+        self.bases = dict(bases)
+        cells = self.cells
+        if len(cells) != len(values):
+            for addr in [a for a in cells if a not in values]:
+                del cells[addr]
+        for addr, value in values.items():
+            cell = cells.get(addr)
+            if cell is None:
+                cells[addr] = _Cell(value)
+            else:
+                cell.value = value
+
 
 class Interpreter:
     """Execute a loop statement over synthesized inputs, tracing accesses."""

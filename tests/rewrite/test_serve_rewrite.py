@@ -114,6 +114,44 @@ class TestServiceRewrites:
         sharded = list(service.stream_rewrite_sources(NAMED, shards=2))
         assert sharded == service.rewrite_sources(NAMED)
 
+    def test_verifier_counters_surface(self):
+        service = _service()
+        results = service.rewrite_sources(NAMED)
+        verify = service.cache_stats()["verify"]
+        assert verify["simulations"] > 0
+        assert verify["compiled_runs"] > 0
+        assert verify["elapsed_s"] > 0
+        # per-file counters ride on the result without touching the
+        # wire payload (byte-identity with the daemon path)
+        assert results[0].verifier["simulations"] > 0
+        assert "verifier" not in results[0].to_payload()
+
+    def test_sharded_run_distributes_verification(self):
+        service = _service()
+        sharded = list(service.stream_rewrite_sources(NAMED, shards=2))
+        assert sharded == _service().rewrite_sources(NAMED)
+        # the workers' verifier counters fold back into the parent
+        verify = service.cache_stats()["verify"]
+        assert verify["simulations"] > 0
+
+    def test_warm_store_executes_zero_simulations(self, tmp_path):
+        def _stored_service():
+            from repro.serve import SuggestionStore
+
+            return SuggestionService(
+                _StubModel(1), {"reduction": _StubModel(1)},
+                store=SuggestionStore(tmp_path / "cache"))
+
+        cold = _stored_service()
+        cold_results = cold.rewrite_sources(NAMED)
+        assert cold.cache_stats()["verify"]["simulations"] > 0
+        warm = _stored_service()
+        warm_results = warm.rewrite_sources(NAMED)
+        assert warm_results == cold_results
+        verify = warm.cache_stats()["verify"]
+        assert verify["simulations"] == 0
+        assert verify["cached_verdicts"] > 0
+
 
 class TestRewriteWire:
     """`RewriteRequest` wire shape: additive, defaults, refusals."""

@@ -243,6 +243,93 @@ class TestStoreMechanics:
         assert store.get_parse("k") is None
 
 
+class TestVerdictLayer:
+    """The persistent verdict cache: warm rewrites replay, not re-run."""
+
+    PAYLOAD = {"ok": True, "code": "verified", "detail": "8 runs"}
+
+    def test_round_trip_and_counters(self, tmp_path):
+        store = SuggestionStore(tmp_path)
+        assert store.get_verdict("absent") is None
+        store.put_verdict("k", self.PAYLOAD)
+        assert store.get_verdict("k") == self.PAYLOAD
+        stats = store.stats()
+        assert stats["verdict_hits"] == 1
+        assert stats["verdict_misses"] == 1
+
+    def test_describe_counts_verdicts(self, tmp_path):
+        store = SuggestionStore(tmp_path)
+        store.put_verdict("k1", self.PAYLOAD)
+        store.put_verdict("k2", self.PAYLOAD)
+        d = store.describe()
+        assert d["verdict"]["entries"] == 2
+        assert d["verdict"]["bytes"] > 0
+        assert d["total_bytes"] == d["verdict"]["bytes"]
+
+    def test_gc_reports_verdict_layer(self, tmp_path):
+        store = SuggestionStore(tmp_path)
+        store.put_parse("p", {"requests": [], "error": None})
+        store.put_verdict("v", self.PAYLOAD)
+        result = store.gc(max_bytes=0)
+        assert result["layers"]["verdict"]["removed_files"] == 1
+        assert result["layers"]["parse"]["removed_files"] == 1
+        assert not list(store.base.rglob("*.json"))
+
+    def test_engine_replays_cached_verdicts(self, tmp_path):
+        from repro.rewrite import rewrite_loop
+
+        store = SuggestionStore(tmp_path)
+        src = "for (i = 0; i < n; i++) { a[i] = a[i] + 1; }"
+        cold_stats: dict = {}
+        cold = rewrite_loop(src, store=store, stats=cold_stats)
+        assert cold.code == "verified"
+        assert cold_stats["simulations"] > 0
+        warm_stats: dict = {}
+        warm = rewrite_loop(src, store=store, stats=warm_stats)
+        assert warm == cold
+        assert warm_stats.get("simulations", 0) == 0
+        assert warm_stats["cached_verdicts"] == 1
+
+    def test_config_change_invalidates(self, tmp_path):
+        from repro.rewrite import VerifyConfig, rewrite_loop
+
+        store = SuggestionStore(tmp_path)
+        src = "for (i = 0; i < n; i++) { a[i] = a[i] + 1; }"
+        rewrite_loop(src, store=store)
+        stats: dict = {}
+        rewrite_loop(src, store=store,
+                     config=VerifyConfig(max_trip=8), stats=stats)
+        # a different budget is a different verdict key, so no replay
+        assert stats.get("cached_verdicts", 0) == 0
+        assert stats["simulations"] > 0
+
+    def test_compiled_flag_shares_cache_entries(self, tmp_path):
+        from repro.rewrite import VerifyConfig, rewrite_loop
+
+        store = SuggestionStore(tmp_path)
+        src = "for (i = 0; i < n; i++) { a[i] = a[i] * 3; }"
+        rewrite_loop(src, store=store, config=VerifyConfig(compiled=True))
+        stats: dict = {}
+        rewrite_loop(src, store=store,
+                     config=VerifyConfig(compiled=False), stats=stats)
+        # execution strategy is excluded from the fingerprint: both
+        # paths produce identical verdicts, so they share one entry
+        assert stats["cached_verdicts"] == 1
+
+    def test_torn_entry_degrades_to_recompute(self, tmp_path):
+        from repro.rewrite import rewrite_loop
+
+        store = SuggestionStore(tmp_path)
+        src = "for (i = 0; i < n; i++) { a[i] = a[i] + 2; }"
+        cold = rewrite_loop(src, store=store)
+        for path in (store.root / "verdict").glob("*.json"):
+            path.write_text('{"ok": "maybe"}')     # malformed shape
+        stats: dict = {}
+        again = rewrite_loop(src, store=store, stats=stats)
+        assert again == cold
+        assert stats["simulations"] > 0            # recomputed, not trusted
+
+
 class TestStoreGC:
     """Eviction: without ``gc`` the cache only grows."""
 
@@ -425,4 +512,5 @@ class TestDescribe:
     def test_fresh_store_counters_are_zero(self, tmp_path):
         store = SuggestionStore(tmp_path / "cache")
         assert store.stats() == {"parse_hits": 0, "parse_misses": 0,
-                                 "suggest_hits": 0, "suggest_misses": 0}
+                                 "suggest_hits": 0, "suggest_misses": 0,
+                                 "verdict_hits": 0, "verdict_misses": 0}

@@ -232,6 +232,25 @@ class TestCacheGcCLI:
         assert main(["cache", "stats", str(tmp_path / "nope")]) == 0
         assert "not created yet" in capsys.readouterr().out
 
+    def test_stats_and_gc_cover_verdict_layer(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import SuggestionStore
+
+        store = SuggestionStore(tmp_path / "cache")
+        store.put_verdict("v1", {"ok": True, "code": "verified",
+                                 "detail": ""})
+        assert main(["cache", "stats", str(tmp_path / "cache")]) == 0
+        assert "verdict: 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", str(tmp_path / "cache"),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["verdict"]["entries"] == 1
+        assert main(["cache", "gc", str(tmp_path / "cache"),
+                     "--max-bytes", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["layers"]["verdict"]["removed_files"] == 1
+
 
 class TestSuggestDirCLI:
     SOURCE = """
@@ -548,7 +567,35 @@ class TestRewriteDirCLI:
         assert done["loops"] == 3
         assert done["accepted"] + done["refused"] <= 3
         assert done["errors"] == 0
+        # in-process runs surface the verifier's fast-path counters
+        assert done["simulations"] > 0
+        assert done["verifier"]["compiled_runs"] > 0
         assert "3 loops across 2 files" in err
+        assert "verifier:" in err
+
+    def test_warm_cache_dir_skips_simulations(self, tmp_path, capsys):
+        import json
+
+        src_dir = self._corpus(tmp_path)
+        cache = tmp_path / "cache"
+        args = ["rewrite-dir", str(src_dir), *self.FLAGS,
+                "--cache-dir", str(cache), "--stream"]
+        assert main(args) == 0
+        cold = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert cold[-1]["simulations"] > 0
+        assert main(args) == 0
+        warm = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        # warm contract: zero loop simulations, identical results
+        assert warm[-1]["simulations"] == 0
+        assert warm[-1]["verifier"]["cached_verdicts"] > 0
+        def key(recs):
+            return sorted(
+                (r["file"], json.dumps(r["rewrites"], sort_keys=True))
+                for r in recs[:-1])
+
+        assert key(warm) == key(cold)
 
     def test_empty_directory_fails(self, tmp_path, capsys):
         code = main(["rewrite-dir", str(tmp_path), *self.FLAGS])
