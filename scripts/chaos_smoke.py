@@ -1,0 +1,216 @@
+"""CI smoke: fault-injected serving against a real bundle, end to end.
+
+Trains nothing itself — point it at a prebuilt bundle (the CI job
+trains one) and a corpus directory.  Every check drives the *real*
+entry points (``repro suggest-dir``, ``repro serve``) with a
+deterministic :class:`~repro.serve.faults.FaultPlan` armed through the
+``--faults`` flag or the environment, and asserts the stack recovers:
+
+1. **killed worker, byte-identical run** — a ``suggest-dir --shards 2``
+   run whose shard-0 worker is SIGKILLed after its first file produces
+   output byte-identical to the fault-free sharded run;
+2. **poison quarantine** — a reproducibly lethal input ends as a
+   structured ``{"event": "error", "code": "quarantined"}`` NDJSON
+   record while every innocent file still gets its fault-free record;
+3. **daemon restart mid-batch** — a streaming client survives the
+   daemon being SIGKILLed mid-reply: a replacement binds the same
+   socket and the client's RetryPolicy finishes the batch exactly
+   once, in order.
+
+Every spawned daemon PID is tracked and killed in ``finally`` blocks,
+so a wedged server can never stall the runner after a failed check.
+
+Usage::
+
+    python scripts/chaos_smoke.py --bundle advisor \
+        [--corpus examples/corpus]
+
+Exit status 0 on success; any failed check raises with a message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.client import RetryPolicy, connect            # noqa: E402
+
+KILL_PLAN = json.dumps(
+    {"faults": [{"kind": "kill-worker", "sid": 0, "after_files": 1}]})
+POISON_PLAN = json.dumps(
+    {"faults": [{"kind": "poison-file", "match": "poison", "times": 8}]})
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return env
+
+
+def run_suggest(corpus: Path, bundle: str, out: Path, *,
+                faults: str | None = None, stream: bool = False) -> str:
+    cmd = [sys.executable, "-m", "repro.cli", "suggest-dir",
+           str(corpus), "--bundle", bundle, "--shards", "2", "--quiet",
+           "--out", str(out)]
+    if faults is not None:
+        cmd += ["--faults", faults]
+    if stream:
+        cmd += ["--stream"]
+    proc = subprocess.run(cmd, env=_env(), cwd=REPO_ROOT,
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"suggest-dir exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def check_killed_worker_identity(corpus: Path, bundle: str,
+                                 work: Path) -> None:
+    clean, faulted = work / "clean.json", work / "faulted.json"
+    run_suggest(corpus, bundle, clean)
+    run_suggest(corpus, bundle, faulted, faults=KILL_PLAN)
+    if clean.read_bytes() != faulted.read_bytes():
+        raise AssertionError(
+            "killed-worker run diverged from the fault-free run")
+    print("killed worker: output byte-identical after recovery")
+
+
+def check_poison_quarantine(corpus: Path, bundle: str,
+                            work: Path) -> None:
+    # the fault's `match` is a substring test on the full served path,
+    # so the directory name must not itself contain "poison"
+    poisoned = work / "chaos-corpus"
+    shutil.copytree(corpus, poisoned)
+    victim = sorted(poisoned.glob("*.c"))[0]
+    (poisoned / "poison_me.c").write_text(victim.read_text())
+
+    clean_ndjson = run_suggest(poisoned, bundle, work / "p-clean.json",
+                               stream=True)
+    faulted_ndjson = run_suggest(poisoned, bundle, work / "p-fault.json",
+                                 faults=POISON_PLAN, stream=True)
+
+    def records(ndjson: str) -> dict:
+        out = {}
+        for line in ndjson.splitlines():
+            rec = json.loads(line)
+            if rec.get("event") == "done":
+                continue
+            # stream records carry the path as given; key by basename
+            # so clean and faulted runs compare regardless of cwd
+            out[Path(rec["file"]).name] = rec
+        return out
+
+    clean, faulted = records(clean_ndjson), records(faulted_ndjson)
+    poison = faulted.get("poison_me.c")
+    if poison is None or poison.get("event") != "error" or \
+            poison.get("code") != "quarantined":
+        raise AssertionError(
+            f"poison file was not quarantined: {poison!r}")
+    for name, rec in clean.items():
+        if name == "poison_me.c":
+            continue
+        if faulted.get(name) != rec:
+            raise AssertionError(
+                f"innocent file {name} diverged under the poison run")
+    print(f"poison quarantine: poison_me.c -> quarantined record, "
+          f"{len(clean) - 1} innocents byte-identical")
+
+
+def start_daemon(bundle: str, sock: Path, cache_dir: str,
+                 ready_file: Path) -> subprocess.Popen:
+    # round-files 1: replies stream incrementally, so a SIGKILL can
+    # land mid-batch instead of between replies
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--unix", str(sock), "--bundle", bundle,
+         "--cache-dir", cache_dir, "--round-files", "1",
+         "--ready-file", str(ready_file)],
+        env=_env(), cwd=REPO_ROOT)
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if ready_file.exists() and ready_file.read_text().strip():
+            return proc
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with {proc.returncode}")
+        time.sleep(0.2)
+    proc.kill()
+    raise RuntimeError("daemon never became ready")
+
+
+def check_daemon_restart(corpus: Path, bundle: str, work: Path) -> None:
+    named = [(p.name, p.read_text(encoding="utf-8"))
+             for p in sorted(corpus.glob("*.c"))]
+    sock = work / "serve.sock"
+    first = start_daemon(bundle, sock, str(work / "cache-a"),
+                         work / "ready-a")
+    replacement = None
+    client = None
+    try:
+        client = connect(
+            f"unix:{sock}", timeout=60.0,
+            retry=RetryPolicy(max_attempts=30, base_delay_s=0.1))
+        stream = client.stream_sources(named, ordered=True)
+        got = [next(stream)]
+        # kill -9 mid-reply, then stand the replacement up on the same
+        # socket; the client's RetryPolicy reconnects and re-issues,
+        # and seen-index dedup keeps delivery exactly-once
+        first.kill()
+        first.wait(timeout=30)
+        replacement = start_daemon(bundle, sock, str(work / "cache-b"),
+                                   work / "ready-b")
+        got.extend(stream)
+        names = [fs.name for fs in got]
+        if names != [name for name, _ in named]:
+            raise AssertionError(
+                f"restart broke exactly-once delivery: {names}")
+        bad = [fs.name for fs in got if fs.error is not None]
+        if bad:
+            raise AssertionError(
+                f"files errored across the restart: {bad}")
+        print(f"daemon restart: client completed {len(named)} files "
+              f"exactly once across a SIGKILL")
+    finally:
+        if client is not None:
+            client.close()
+        for proc in (first, replacement):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--bundle", required=True,
+                        help="trained bundle directory or archive")
+    parser.add_argument("--corpus", default=str(REPO_ROOT / "examples"
+                                                / "corpus"),
+                        help="directory of C files to serve")
+    args = parser.parse_args(argv)
+
+    corpus = Path(args.corpus)
+    if not sorted(corpus.glob("*.c")):
+        raise SystemExit(f"no .c files under {args.corpus}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        work = Path(tmp)
+        check_killed_worker_identity(corpus, args.bundle, work)
+        check_poison_quarantine(corpus, args.bundle, work)
+        check_daemon_restart(corpus, args.bundle, work)
+    print("chaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,7 +142,10 @@ class SuggesterBundle:
         extraction).  Either way the loaded bundle records its
         ``source_path`` so shard workers can re-load the same artifact.
         """
+        from repro.serve import faults
+
         path = Path(path)
+        faults.on_bundle_load(str(path))
         if path.is_file():
             with tempfile.TemporaryDirectory(prefix="bundle-") as tmp:
                 bundle = cls._load_dir(unpack_bundle(path, Path(tmp) / "x"))

@@ -5,9 +5,12 @@ bundle — and clients pick one by name over the wire instead of by
 filesystem path.  :class:`BundleRegistry` owns that name → bundle
 mapping: specs arrive from the CLI as ``NAME=PATH`` (or a bare path,
 whose name derives from the file name), every bundle loads strictly at
-registration time (a server must refuse to start on a corrupt
-artifact, not discover it mid-request), and the first registered
-bundle becomes the default a nameless request is served from.
+registration time (a server must not discover a corrupt artifact
+mid-request), and the first registered bundle becomes the default a
+nameless request is served from.  :meth:`from_specs` refuses to start
+on any load failure; :meth:`from_specs_tolerant` instead starts
+*degraded* — the loadable bundles serve, the broken ones are reported
+per-name so the daemon can surface them in its capabilities.
 """
 
 from __future__ import annotations
@@ -67,6 +70,35 @@ class BundleRegistry:
             name, path = parse_bundle_spec(spec)
             registry.add(name, SuggesterBundle.load(path))
         return registry
+
+    @classmethod
+    def from_specs_tolerant(
+            cls, specs) -> tuple["BundleRegistry", dict[str, str]]:
+        """Like :meth:`from_specs`, but load failures degrade.
+
+        Returns ``(registry, failures)`` where ``failures`` maps each
+        bundle name that refused to load to the reason.  Spec errors
+        (malformed ``NAME=PATH``, duplicate names) still raise — those
+        are operator typos, not runtime corruption.  The first
+        *loadable* spec becomes the default.
+        """
+        from repro.artifacts.model_io import ArtifactError
+        from repro.serve.faults import FaultError
+
+        registry = cls()
+        failures: dict[str, str] = {}
+        for spec in specs:
+            name, path = parse_bundle_spec(spec)
+            if name in registry or name in failures:
+                raise ValueError(
+                    f"bundle name {name!r} registered twice; "
+                    f"use NAME=PATH specs to disambiguate"
+                )
+            try:
+                registry.add(name, SuggesterBundle.load(path))
+            except (ArtifactError, OSError, FaultError) as exc:
+                failures[name] = str(exc)
+        return registry, failures
 
     def add(self, name: str, bundle: SuggesterBundle) -> None:
         if name in self._bundles:

@@ -23,7 +23,16 @@
 ``repro cache``        maintain a persistent suggestion cache
                        (``gc`` prunes by size/age, ``stats`` reports
                        entry counts/bytes per layer and the in-process
-                       analysis memo counters)
+                       analysis memo counters, ``fsck`` removes torn
+                       or unreadable entries left by crashed writers)
+
+Fault tolerance surfaces here too: ``--faults PLAN`` (on ``serve``,
+``suggest-dir`` and ``rewrite-dir``) arms a deterministic
+:class:`~repro.serve.faults.FaultPlan` in the process *and* its shard
+workers; streaming runs emit supervisor failures (quarantined files,
+exhausted retries, expired deadlines) as structured
+``{"event": "error", "code": ..., "file": ...}`` NDJSON records
+instead of aborting.
 """
 
 from __future__ import annotations
@@ -157,6 +166,56 @@ def _ndjson_record(record: dict) -> None:
     sys.stdout.flush()
 
 
+#: stable codes of supervisor-emitted per-file failures — these carry
+#: a "code: detail" error string and stream as {"event": "error"}
+#: records; plain parse errors do not and stay inline
+ERROR_CODES = ("worker-retry", "quarantined", "deadline-exceeded")
+
+
+def _structured_error(name: str, error: str | None) -> dict | None:
+    """The ``{"event": "error", ...}`` record for a structured failure,
+    or ``None`` when ``error`` is absent or an ordinary parse error."""
+    if not error:
+        return None
+    code, sep, detail = error.partition(": ")
+    if sep and code in ERROR_CODES:
+        return {"event": "error", "file": name, "code": code,
+                "detail": detail}
+    return None
+
+
+def _arm_faults(spec: str | None) -> bool:
+    """Arm a ``--faults`` plan in this process and its shard workers.
+
+    ``spec`` is inline :meth:`FaultPlan.to_json` JSON, or the path of a
+    file holding it.  Arming goes through the environment as well so
+    spawned worker processes (and a daemon's compute workers) inherit
+    the plan.  Returns False (after printing why) on a bad plan.
+    """
+    if not spec:
+        return True
+    import os
+    from pathlib import Path
+
+    from repro.serve import FaultPlan, faults
+
+    raw = spec
+    path = Path(spec)
+    try:
+        if path.is_file():
+            raw = path.read_text()
+    except OSError:
+        pass
+    try:
+        plan = FaultPlan.from_json(raw)
+    except ValueError as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        return False
+    os.environ.update(plan.env())
+    faults.activate(plan)
+    return True
+
+
 def _shards_arg(value: str):
     """``--shards`` parser: a positive integer or the string ``auto``."""
     if value == "auto":
@@ -223,16 +282,29 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                         help="write suggestions to this JSON file")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-loop output")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="S",
+                        help="with --server: per-request deadline in "
+                             "seconds; the daemon aborts queued or "
+                             "mid-stream work past it with a "
+                             "'deadline-exceeded' error")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="arm a deterministic fault plan (inline "
+                             "JSON or a file of it) in this process "
+                             "and its shard workers — chaos testing "
+                             "only")
     args = parser.parse_args(argv)
 
     from pathlib import Path
 
     from repro.serve import ServeError
 
+    if not _arm_faults(args.faults):
+        return 2
     client = None
     service = None
     if args.server:
-        from repro.client import ClientError, connect
+        from repro.client import ClientError, RetryPolicy, connect
 
         ignored = [
             flag for flag, value, default in (
@@ -250,7 +322,10 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                   f"--server — the daemon's own models and config "
                   f"serve the request", file=sys.stderr)
         try:
-            client = connect(args.server)
+            # a default RetryPolicy: a busy or restarting daemon is
+            # retried with backoff instead of failing the whole run
+            client = connect(args.server, retry=RetryPolicy(),
+                             deadline_s=args.deadline)
         except (ClientError, OSError) as exc:
             print(f"cannot reach server {args.server}: {exc}",
                   file=sys.stderr)
@@ -307,7 +382,7 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                 else service.stream_paths(paths, ordered=False)
             )
             for r in stream:
-                _ndjson_record({
+                _ndjson_record(_structured_error(r.name, r.error) or {
                     "file": r.name,
                     "error": r.error,
                     "suggestions": [s.to_dict() for s in r.suggestions],
@@ -439,16 +514,29 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                              "rewritten sources) to this JSON file")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-loop output")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="S",
+                        help="with --server: per-request deadline in "
+                             "seconds; the daemon aborts queued or "
+                             "mid-stream work past it with a "
+                             "'deadline-exceeded' error")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="arm a deterministic fault plan (inline "
+                             "JSON or a file of it) in this process "
+                             "and its shard workers — chaos testing "
+                             "only")
     args = parser.parse_args(argv)
 
     from pathlib import Path
 
     from repro.serve import ServeError
 
+    if not _arm_faults(args.faults):
+        return 2
     client = None
     service = None
     if args.server:
-        from repro.client import ClientError, connect
+        from repro.client import ClientError, RetryPolicy, connect
 
         ignored = [
             flag for flag, value, default in (
@@ -466,7 +554,8 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                   f"--server — the daemon's own models and config "
                   f"serve the request", file=sys.stderr)
         try:
-            client = connect(args.server)
+            client = connect(args.server, retry=RetryPolicy(),
+                             deadline_s=args.deadline)
         except (ClientError, OSError) as exc:
             print(f"cannot reach server {args.server}: {exc}",
                   file=sys.stderr)
@@ -534,7 +623,8 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                     paths, ordered=False, verify=args.verify)
             )
             for r in stream:
-                _ndjson_record(_record(r))
+                _ndjson_record(_structured_error(r.name, r.error)
+                               or _record(r))
                 results.append(r)
             by_name = {r.name: r for r in results}
             results = [by_name[str(p)] for p in paths]
@@ -678,6 +768,10 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="after binding, write the actual listen "
                              "address to this file (scripts polling "
                              "for readiness, ephemeral ports)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="arm a deterministic fault plan (inline "
+                             "JSON or a file of it) in the daemon and "
+                             "its shard workers — chaos testing only")
     args = parser.parse_args(argv)
 
     from repro.serve import (
@@ -686,6 +780,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         SuggestServer,
         build_service,
     )
+
+    if not _arm_faults(args.faults):
+        return 2
 
     serve_config = ServeConfig(workers=args.workers,
                                batch_size=args.batch_size,
@@ -714,10 +811,22 @@ def serve_main(argv: list[str] | None = None) -> int:
         from repro.artifacts import ArtifactError, BundleRegistry
 
         try:
-            registry = BundleRegistry.from_specs(args.bundle)
+            registry, degraded = \
+                BundleRegistry.from_specs_tolerant(args.bundle)
         except (ArtifactError, ValueError) as exc:
             print(f"cannot load bundles: {exc}", file=sys.stderr)
             return 2
+        for name, reason in sorted(degraded.items()):
+            # degraded startup: a corrupt artifact costs one bundle,
+            # not the whole daemon — clients see it in capabilities
+            print(f"serve: bundle {name!r} failed to load, starting "
+                  f"degraded without it: {reason}", file=sys.stderr)
+        if not len(registry):
+            print("cannot load bundles: every --bundle failed to load",
+                  file=sys.stderr)
+            return 2
+        if degraded:
+            net_kwargs["degraded"] = degraded
     else:
         registry = None
 
@@ -848,7 +957,40 @@ def cache_main(argv: list[str] | None = None) -> int:
     stats.add_argument("cache_dir", help="cache directory to inspect")
     stats.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON object")
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan every layer for torn or unreadable entries (a "
+             "writer that died mid-write, disk corruption) and remove "
+             "them — readers degrade such entries to recompute on "
+             "every hit until fsck reclaims them; stale *.tmp files "
+             "are reclaimed too")
+    fsck.add_argument("cache_dir", help="cache directory to check")
+    fsck.add_argument("--dry-run", action="store_true",
+                      help="report corrupt entries without removing "
+                           "anything")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the structured fsck report as one "
+                           "JSON object")
     args = parser.parse_args(argv)
+
+    if args.action == "fsck":
+        from repro.serve import SuggestionStore
+
+        report = SuggestionStore(args.cache_dir).fsck(
+            remove=not args.dry_run)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        verb = "found" if args.dry_run else "removed"
+        print(f"cache fsck: scanned {report['scanned']} entries, "
+              f"{verb} {report['corrupt']} corrupt, reclaimed "
+              f"{report['stale_tmp']} stale tmp files")
+        for layer in ("parse", "suggest", "verdict", "other"):
+            counters = report["layers"][layer]
+            if counters["corrupt"]:
+                print(f"  {layer}: {counters['corrupt']} corrupt of "
+                      f"{counters['scanned']} scanned")
+        return 0
 
     if args.action == "stats":
         from repro.serve import SuggestionStore

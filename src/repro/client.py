@@ -18,12 +18,27 @@ path to an existing socket file also works.
 One request is in flight per connection at a time (the protocol has
 no request ids); open several clients for concurrency — the daemon
 multiplexes them over one warm store.
+
+Resilience: pass a :class:`RetryPolicy` to :func:`connect` and the
+client absorbs transient failures by itself — ``busy`` and
+``shutting-down`` refusals are retried with capped exponential backoff
+and deterministic jitter, and a connection lost mid-request (daemon
+restart, dropped socket) auto-reconnects, re-handshakes, and re-issues
+the in-flight request.  Requests are idempotent (a pure function of
+their sources), so re-issue is safe; streaming replies track which
+file indices were already yielded and skip them on the re-served
+stream, so the caller sees every file exactly once.  ``deadline_s``
+rides on each request so the server abandons work whose client has
+given up waiting.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
+import time
 from collections.abc import Iterator
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.rewrite import FileRewrite
@@ -43,6 +58,48 @@ class ClientError(ServeError):
     def __init__(self, message: str, code: str = "client-error") -> None:
         super().__init__(message)
         self.code = code
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client absorbs transient failures.
+
+    ``retry_codes`` names the :class:`ClientError` codes considered
+    transient: ``busy`` (admission queue full) and ``shutting-down``
+    (a draining daemon — its replacement will accept) mean *ask
+    again*; ``connection-lost`` additionally reconnects and
+    re-handshakes first.  Anything else — ``bad-request``,
+    ``unknown-bundle``, ``deadline-exceeded``, ``timeout`` — is not
+    transient: retrying a malformed request or an already-blown
+    deadline only hides the real failure.
+
+    Backoff is capped exponential (``base_delay_s`` doubling per
+    attempt up to ``max_delay_s``) with *deterministic* jitter: the
+    sleep is scaled into ``[0.5, 1.0)`` of the cap by a hash of
+    ``(seed, attempt)``, so a thundering herd of clients with distinct
+    seeds spreads out, while any single configuration replays the
+    exact same schedule — chaos tests stay reproducible.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+    retry_codes: tuple[str, ...] = ("busy", "shutting-down",
+                                    "connection-lost")
+
+    def should_retry(self, code: str, failures: int) -> bool:
+        """Whether to try again after ``failures`` failed attempts."""
+        return failures < self.max_attempts and code in self.retry_codes
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        cap = min(self.max_delay_s,
+                  self.base_delay_s * (2 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(
+            f"{self.seed}:{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return cap * (0.5 + 0.5 * jitter)
 
 
 def _open_socket(address: str, timeout: float) -> socket.socket:
@@ -71,12 +128,31 @@ def _open_socket(address: str, timeout: float) -> socket.socket:
 
 
 def connect(address: str, *, timeout: float = DEFAULT_TIMEOUT_S,
-            client_id: str = "repro.client") -> "Client":
-    """Open a connection and perform the protocol handshake."""
-    sock = _open_socket(address, timeout)
+            client_id: str = "repro.client",
+            retry: RetryPolicy | None = None,
+            deadline_s: float | None = None) -> "Client":
+    """Open a connection and perform the protocol handshake.
+
+    With a :class:`RetryPolicy`, connection refusals are retried with
+    backoff (a daemon mid-restart is a transient, not an error) and
+    the returned client keeps absorbing transient failures on every
+    request.  ``deadline_s`` becomes the default per-request deadline.
+    """
+    failures = 0
+    while True:
+        try:
+            sock = _open_socket(address, timeout)
+            break
+        except (ClientError, OSError) as exc:
+            code = getattr(exc, "code", "connection-lost")
+            failures += 1
+            if retry is None or not retry.should_retry(code, failures):
+                raise
+            time.sleep(retry.delay(failures))
     try:
         return Client(sock, address=address, timeout=timeout,
-                      client_id=client_id)
+                      client_id=client_id, retry=retry,
+                      deadline_s=deadline_s)
     except BaseException:
         sock.close()
         raise
@@ -87,7 +163,9 @@ class Client:
 
     def __init__(self, sock: socket.socket, *, address: str = "",
                  timeout: float = DEFAULT_TIMEOUT_S,
-                 client_id: str = "repro.client") -> None:
+                 client_id: str = "repro.client",
+                 retry: RetryPolicy | None = None,
+                 deadline_s: float | None = None) -> None:
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._wfile = sock.makefile("wb")
@@ -95,8 +173,17 @@ class Client:
         #: a request was written whose reply has not been read to its
         #: terminating frame (an abandoned streaming generator)
         self._pending = False
+        #: the byte stream is desynchronized (a timeout or connection
+        #: loss mid-frame): the socket must be re-opened before the
+        #: next request — draining would misparse partial frames
+        self._broken = False
         self.address = address
         self.timeout = timeout
+        self.retry = retry
+        #: default relative deadline stamped onto requests that carry
+        #: none of their own
+        self.deadline_s = deadline_s
+        self._client_id = client_id
         #: the server's Done frame of the most recent request — its
         #: serving-side ``cache_stats()`` snapshot for observability
         self.last_done: protocol.Done | None = None
@@ -110,6 +197,7 @@ class Client:
         except protocol.ProtocolError as exc:
             raise ClientError(str(exc), code=exc.code) from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self._broken = True
             raise ClientError(f"server connection lost: {exc}",
                               code="connection-lost") from exc
 
@@ -117,15 +205,22 @@ class Client:
         try:
             message = protocol.read_message(self._rfile)
         except protocol.ProtocolError as exc:
+            self._broken = True      # mid-frame garbage: never resync
             raise ClientError(str(exc), code=exc.code) from exc
         except (socket.timeout, TimeoutError) as exc:
+            # the reply may still be in flight and a partial frame may
+            # already be consumed — this connection can no longer be
+            # drained; the next request reconnects instead
+            self._broken = True
             raise ClientError(
                 f"no frame from {self.address or 'server'} within "
                 f"{self.timeout}s", code="timeout") from exc
         except (ConnectionResetError, OSError) as exc:
+            self._broken = True
             raise ClientError(f"server connection lost: {exc}",
                               code="connection-lost") from exc
         if message is None:
+            self._broken = True
             raise ClientError("server closed the connection mid-reply",
                               code="connection-lost")
         return message
@@ -157,16 +252,52 @@ class Client:
         if self._closed:
             return
         self._closed = True
-        try:
-            protocol.write_message(self._wfile, protocol.Goodbye())
-        except (BrokenPipeError, ConnectionResetError, OSError,
-                protocol.ProtocolError):
-            pass
+        if not self._broken:
+            try:
+                protocol.write_message(self._wfile, protocol.Goodbye())
+            except (BrokenPipeError, ConnectionResetError, OSError,
+                    protocol.ProtocolError):
+                pass
         for closer in (self._rfile, self._wfile, self._sock):
             try:
                 closer.close()
             except OSError:
                 pass
+
+    def _reconnect(self) -> None:
+        """Tear down the broken socket, reopen, re-handshake.
+
+        Raises :class:`ClientError` (code ``connection-lost``) when
+        the server is unreachable — under a :class:`RetryPolicy` that
+        simply counts as the next failed attempt.
+        """
+        for closer in (self._rfile, self._wfile, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+        self._pending = False
+        self._broken = False
+        if not self.address:
+            self._broken = True
+            raise ClientError(
+                "connection broke and this client has no address to "
+                "reconnect to", code="connection-lost")
+        try:
+            sock = _open_socket(self.address, self.timeout)
+        except OSError as exc:
+            self._broken = True
+            raise ClientError(
+                f"cannot reconnect to {self.address}: {exc}",
+                code="connection-lost") from exc
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        try:
+            self.capabilities = self._handshake(self._client_id)
+        except ClientError:
+            self._broken = True
+            raise
 
     def __enter__(self) -> "Client":
         return self
@@ -201,42 +332,105 @@ class Client:
                     f"draining an abandoned reply", code="bad-reply")
 
     def _request(self, request: protocol.SuggestRequest) -> None:
+        if self._broken:
+            # a timed-out or torn reply poisoned the byte stream; a
+            # fresh connection is the only safe resync point
+            self._reconnect()
         self._drain_pending()
         self._write(request)
         self._pending = True
 
+    def _with_deadline(self, request):
+        """Stamp the client's default deadline onto a patient request."""
+        if self.deadline_s is None or request.deadline_s is not None:
+            return request
+        return replace(request, deadline_s=self.deadline_s)
+
+    def _absorb_failure(self, exc: ClientError, failures: int) -> None:
+        """Back off after a transient failure, or re-raise it.
+
+        Counts ``failures`` so far against the retry policy; on a lost
+        connection also reconnects (re-handshaking) so the next attempt
+        starts on a clean stream.  Reconnect failures raise — the loop
+        above will catch them as the next attempt's failure.
+        """
+        if self.retry is None or not self.retry.should_retry(
+                exc.code, failures):
+            raise exc
+        time.sleep(self.retry.delay(failures))
+        if self._broken:
+            self._reconnect()
+
     def _stream(self, request: protocol.SuggestRequest,
                 revive=FileSuggestions.from_payload) -> Iterator:
-        self._request(request)
+        request = self._with_deadline(request)
+        seen: set[int] = set()
+        failures = 0
         while True:
-            message = self._read()
-            if isinstance(message, protocol.Done):
-                self.last_done = message
-                self._pending = False
-                return
-            if not isinstance(message, protocol.FileResult):
-                raise ClientError(
-                    f"unexpected {message.KIND!r} frame inside a "
-                    f"streaming reply", code="bad-reply")
-            yield revive(message.name, message.payload)
+            try:
+                self._request(request)
+                while True:
+                    message = self._read()
+                    if isinstance(message, protocol.Done):
+                        self.last_done = message
+                        self._pending = False
+                        return
+                    if not isinstance(message, protocol.FileResult):
+                        raise ClientError(
+                            f"unexpected {message.KIND!r} frame inside "
+                            f"a streaming reply", code="bad-reply")
+                    if message.index in seen:
+                        # re-served after a reconnect: already yielded
+                        continue
+                    seen.add(message.index)
+                    yield revive(message.name, message.payload)
+            except ClientError as exc:
+                failures += 1
+                # on return (vs raise) the request is re-issued: it is
+                # idempotent and `seen` dedups the re-served files
+                self._absorb_failure(exc, failures)
 
     def _batch(self, request: protocol.SuggestRequest,
                revive=FileSuggestions.from_payload) -> list:
-        self._request(request)
-        message = self._read()
-        if not isinstance(message, protocol.BatchResult):
+        request = self._with_deadline(request)
+        failures = 0
+        while True:
+            try:
+                self._request(request)
+                message = self._read()
+                if not isinstance(message, protocol.BatchResult):
+                    raise ClientError(
+                        f"expected a batch frame, got {message.KIND!r}",
+                        code="bad-reply")
+                done = self._read()
+                if not isinstance(done, protocol.Done):
+                    raise ClientError(
+                        f"expected done after the batch, "
+                        f"got {done.KIND!r}", code="bad-reply")
+                self.last_done = done
+                self._pending = False
+                ordered = sorted(message.files, key=lambda f: f.index)
+                return [revive(f.name, f.payload) for f in ordered]
+            except ClientError as exc:
+                failures += 1
+                self._absorb_failure(exc, failures)
+
+    # -- health --------------------------------------------------------------
+
+    def ping(self, token: str = "") -> protocol.Pong:
+        """Round-trip a health probe; returns the server's
+        :class:`~repro.serve.protocol.Pong` (echoed token + admission
+        queue depth).  Answered off the session loop, so it works even
+        when every compute lane is saturated."""
+        if self._broken:
+            self._reconnect()
+        self._drain_pending()
+        self._write(protocol.Ping(token=token))
+        reply = self._read()
+        if not isinstance(reply, protocol.Pong):
             raise ClientError(
-                f"expected a batch frame, got {message.KIND!r}",
-                code="bad-reply")
-        done = self._read()
-        if not isinstance(done, protocol.Done):
-            raise ClientError(
-                f"expected done after the batch, got {done.KIND!r}",
-                code="bad-reply")
-        self.last_done = done
-        self._pending = False
-        ordered = sorted(message.files, key=lambda f: f.index)
-        return [revive(f.name, f.payload) for f in ordered]
+                f"expected pong, got {reply.KIND!r}", code="bad-reply")
+        return reply
 
     def stream_sources(
         self, named_sources: list[tuple[str, str]], *,

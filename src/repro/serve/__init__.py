@@ -20,8 +20,16 @@ wire frames (length-prefixed JSON), :class:`SuggestServer`
 concurrent clients and corpora over one warm service, and
 :mod:`repro.client` is the matching client library — remote results
 are byte-identical to the in-process path.
+
+Failure is survived, not just reported: :mod:`~repro.serve.stream`
+supervises the shard workers (retry with backoff, heartbeat timeouts,
+per-file blame and quarantine), :mod:`repro.client` carries a
+``RetryPolicy`` for busy/restarting daemons, and
+:mod:`~repro.serve.faults` injects deterministic worker kills, hangs,
+torn store writes and refused bundle loads so all of it is testable.
 """
 
+from repro.serve.faults import Fault, FaultError, FaultPlan
 from repro.serve.parse import ParsedFile, parse_many, parse_one
 from repro.serve.pipeline import (
     FileSuggestions,
@@ -37,6 +45,9 @@ from repro.serve.stream import ServeError, merge_results, stream_shards
 from repro.serve.worker import WorkerSpec
 
 __all__ = [
+    "Fault",
+    "FaultError",
+    "FaultPlan",
     "FileSuggestions",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",

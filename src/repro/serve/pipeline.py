@@ -54,6 +54,15 @@ class ServeConfig:
     #: end-to-end corpus shards; 1 = in-process, "auto" (or 0) picks a
     #: count from corpus stats and CPU count (1 CPU stays in-process)
     shards: int | str = 1
+    #: shard supervision: worker deaths tolerated per retry lineage
+    #: before the remaining files are emitted as ``worker-retry`` error
+    #: records instead of respawning again
+    max_retries: int = 3
+    #: seconds of worker silence (no results, beats, or claims) before
+    #: the supervisor presumes it hung, kills it, and requeues its work
+    heartbeat_s: float = 30.0
+    #: base of the exponential respawn backoff (doubles per death)
+    retry_backoff_s: float = 0.05
 
 
 @dataclass
@@ -588,7 +597,8 @@ class SuggestionService:
         if self.store is not None and store_stats:
             for attr in ("parse_hits", "parse_misses",
                          "suggest_hits", "suggest_misses",
-                         "verdict_hits", "verdict_misses"):
+                         "verdict_hits", "verdict_misses",
+                         "write_errors"):
                 setattr(self.store, attr,
                         getattr(self.store, attr)
                         + int(store_stats.get(attr, 0)))

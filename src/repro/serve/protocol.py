@@ -70,9 +70,10 @@ class ProtocolError(RuntimeError):
     (framing/JSON-level, connection must close), ``bad-request``
     (schema-level, the frame decoded but is not a valid message),
     ``protocol-mismatch`` (handshake refusal), ``unknown-bundle``,
-    ``serve-error``, ``shutting-down`` and ``busy`` (request-level;
+    ``serve-error``, ``shutting-down``, ``busy`` (request-level;
     ``busy`` means the bundle's admission queue is full — back off
-    and retry on the same connection).
+    and retry on the same connection) and ``deadline-exceeded`` (the
+    request's own ``deadline_s`` ran out before it finished).
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -266,6 +267,14 @@ class SuggestRequest:
     corpus-statistics choice); ``stream=False`` asks for one
     :class:`BatchResult` instead of per-file frames — both replies
     end with :class:`Done`.
+
+    ``deadline_s`` is the client's patience in (relative) seconds: the
+    server converts it to an absolute deadline on arrival and aborts
+    the request — queued *or* running — once it expires, replying with
+    an :class:`Error` of code ``deadline-exceeded``.  Relative seconds
+    travel better than wall-clock timestamps (no clock agreement
+    needed).  An additive field: old servers ignore it, new servers
+    advertise the ``deadlines`` capability.
     """
 
     KIND = "suggest"
@@ -278,6 +287,7 @@ class SuggestRequest:
     ordered: bool = True
     stream: bool = True
     shards: int | str | None = None
+    deadline_s: float | None = None
 
     def to_wire(self) -> dict:
         return {
@@ -290,6 +300,7 @@ class SuggestRequest:
             "ordered": self.ordered,
             "stream": self.stream,
             "shards": self.shards,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -327,6 +338,16 @@ class SuggestRequest:
         if isinstance(shards, int) and shards < 0:
             raise ProtocolError("bad-request",
                                 f"{kind}.shards must be >= 0")
+        deadline = _get(payload, "deadline_s", (int, float),
+                        default=None)
+        if deadline is not None:
+            if isinstance(deadline, bool) or deadline <= 0:
+                raise ProtocolError(
+                    "bad-request",
+                    f"{kind}.deadline_s must be a positive number of "
+                    f"seconds",
+                )
+            deadline = float(deadline)
         return cls(
             sources=tuple(sources),
             paths=tuple(paths),
@@ -336,6 +357,7 @@ class SuggestRequest:
             ordered=_get(payload, "ordered", bool, default=True),
             stream=_get(payload, "stream", bool, default=True),
             shards=shards,
+            deadline_s=deadline,
         )
 
 
@@ -469,6 +491,54 @@ class Error:
 
 
 @dataclass(frozen=True)
+class Ping:
+    """Client → server: health probe.
+
+    Answered immediately with a :class:`Pong` straight off the session
+    loop — it never enters the admission queue, so a ``busy`` server
+    still answers and a wedged one visibly does not.  ``token`` is
+    echoed back so callers can match probe to answer.  Additive:
+    servers advertise it via the ``ping`` capability.
+    """
+
+    KIND = "ping"
+
+    token: str = ""
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "token": self.token}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Ping":
+        return cls(token=_get(payload, "token", str, default=""))
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Server → client: health probe answer.
+
+    ``queued`` / ``running`` expose the admission state (total across
+    bundles), so a load balancer can probe depth without a request.
+    """
+
+    KIND = "pong"
+
+    token: str = ""
+    queued: int = 0
+    running: int = 0
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "token": self.token,
+                "queued": self.queued, "running": self.running}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Pong":
+        return cls(token=_get(payload, "token", str, default=""),
+                   queued=_get(payload, "queued", int, default=0),
+                   running=_get(payload, "running", int, default=0))
+
+
+@dataclass(frozen=True)
 class Goodbye:
     """Client → server: clean connection close."""
 
@@ -485,7 +555,8 @@ class Goodbye:
 _MESSAGES = {
     cls.KIND: cls
     for cls in (Hello, HelloOk, SuggestRequest, RewriteRequest,
-                FileResult, BatchResult, Done, Error, Goodbye)
+                FileResult, BatchResult, Done, Error, Goodbye,
+                Ping, Pong)
 }
 
 

@@ -60,6 +60,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
+import time
 import traceback
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -166,6 +167,11 @@ class _Pending:
         self.total = len(self.files)
         self.service = service
         self.done = future
+        #: absolute monotonic deadline, converted from the request's
+        #: relative ``deadline_s`` at admission; ``None`` = patient
+        deadline_s = getattr(request, "deadline_s", None)
+        self.deadline = (None if deadline_s is None
+                         else time.monotonic() + deadline_s)
         self._cursor = 0        # next unscheduled file
         self._delivered = 0
         self._errors = 0
@@ -178,9 +184,19 @@ class _Pending:
     def fully_scheduled(self) -> bool:
         return self._cursor >= self.total
 
+    @property
+    def expired(self) -> bool:
+        return (self.deadline is not None
+                and time.monotonic() > self.deadline)
+
     def take(self):
-        """The next unscheduled ``(index, name, source)``, or ``None``."""
-        if self._cursor >= self.total:
+        """The next unscheduled ``(index, name, source)``, or ``None``.
+
+        An expired request schedules nothing further — the client has
+        given up, so its remaining files must not occupy compute
+        rounds other clients are waiting for.
+        """
+        if self._cursor >= self.total or self.expired:
             return None
         item = self.files[self._cursor]
         self._cursor += 1
@@ -196,6 +212,13 @@ class _Pending:
     def deliver(self, index: int, fs) -> None:
         """One finished file (event loop only; completion order)."""
         if self.finished:
+            return
+        if self.expired:
+            self.fail("deadline-exceeded",
+                      f"request deadline of "
+                      f"{self.request.deadline_s:.3f}s expired "
+                      f"mid-reply; {self._delivered}/{self.total} "
+                      f"files were delivered")
             return
         self._delivered += 1
         self._errors += fs.error is not None
@@ -271,6 +294,8 @@ class _Lane:
         #: no round has run since the queue last emptied — the
         #: micro-batch window only applies to such cold arrivals
         self.idle = True
+        #: a compute round is currently executing (health reporting)
+        self.running = False
 
 
 class SuggestServer:
@@ -298,10 +323,17 @@ class SuggestServer:
                  server_id: str = "repro.serve",
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
-                 round_files: int = DEFAULT_ROUND_FILES) -> None:
+                 round_files: int = DEFAULT_ROUND_FILES,
+                 degraded: dict[str, str] | None = None) -> None:
         if not services:
             raise ValueError("a SuggestServer needs at least one service")
         self.services = dict(services)
+        #: bundles that failed to load at startup: name → reason.  The
+        #: daemon serves what it has and advertises what it lost, so a
+        #: fleet rollout with one corrupt artifact degrades instead of
+        #: flapping; requests for a degraded bundle get a clean
+        #: ``unknown-bundle`` refusal naming the load failure.
+        self.degraded = dict(degraded or {})
         #: directories the server may read for ``paths``/``dir``
         #: requests; ``None`` (the default) disables server-side reads
         #: entirely — an open TCP daemon must not be a file-read
@@ -548,6 +580,10 @@ class SuggestServer:
             "coalescing": True,
             "queue_depth": self.queue_depth,
             "batch_window_ms": self.batch_window_ms,
+            "ping": True,
+            "deadlines": True,
+            #: bundles that failed to load at startup: name → reason
+            "degraded": dict(self.degraded),
         }
 
     # -- connection protocol -------------------------------------------------
@@ -689,6 +725,17 @@ class SuggestServer:
                 return
             if message is None or isinstance(message, protocol.Goodbye):
                 return
+            if isinstance(message, protocol.Ping):
+                # health probes answer straight off the session loop:
+                # they must work exactly when the lanes are saturated
+                if not conn.send(protocol.Pong(
+                        token=message.token,
+                        queued=sum(len(lane.queue)
+                                   for lane in self._lanes.values()),
+                        running=sum(lane.running
+                                    for lane in self._lanes.values()))):
+                    return
+                continue
             if not isinstance(message, protocol.SuggestRequest):
                 conn.send(protocol.Error(
                     code="bad-request",
@@ -759,6 +806,12 @@ class SuggestServer:
         name = request.bundle if request.bundle is not None else self.default
         service = self.services.get(name)
         if service is None:
+            if name in self.degraded:
+                return conn.send(protocol.Error(
+                    code="unknown-bundle",
+                    message=f"bundle {name!r} failed to load at "
+                            f"startup ({self.degraded[name]}); "
+                            f"serving: {sorted(self.services)}"))
             return conn.send(protocol.Error(
                 code="unknown-bundle",
                 message=f"unknown bundle {name!r}; "
@@ -828,6 +881,7 @@ class SuggestServer:
             batch = self._take_round(lane)
             if not batch:
                 continue
+            lane.running = True
             try:
                 await loop.run_in_executor(
                     self._executor, self._compute_round, lane, batch)
@@ -837,12 +891,22 @@ class SuggestServer:
                 tb = traceback.format_exc()
                 for pending, _ in batch:
                     pending.fail("serve-error", tb)
+            finally:
+                lane.running = False
 
     def _prune_dead(self, lane: _Lane) -> None:
-        """Drop queued requests whose client already vanished."""
+        """Drop queued requests whose client vanished or whose
+        deadline has already passed — neither may occupy a round."""
         for pending in [p for p in lane.queue if p.conn.dead]:
             lane.queue.remove(pending)
             pending.cancel()
+        for pending in [p for p in lane.queue if p.expired]:
+            lane.queue.remove(pending)
+            pending.fail(
+                "deadline-exceeded",
+                f"request deadline of "
+                f"{pending.request.deadline_s:.3f}s expired before "
+                f"the request finished")
 
     def _take_round(self, lane: _Lane) -> list[tuple[_Pending, list]]:
         """Compose one compute round, round-robin across the queue.

@@ -37,6 +37,8 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.serve import faults
+
 #: bump when cached payload shapes change incompatibly
 STORE_VERSION = 1
 
@@ -59,6 +61,7 @@ class SuggestionStore:
         self.suggest_misses = 0
         self.verdict_hits = 0
         self.verdict_misses = 0
+        self.write_errors = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -81,20 +84,39 @@ class SuggestionStore:
             return None
         return payload if isinstance(payload, dict) else None
 
-    @staticmethod
-    def _write(path: Path, payload: dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    def _write(self, path: Path, payload: dict) -> None:
+        """Atomically persist one entry; write failures degrade.
+
+        The cache is an accelerator, not the product: a full disk or a
+        permission flip must never abort a serving run, so any
+        ``OSError`` on the write path is swallowed and counted in
+        ``write_errors`` (the entry simply stays a miss).  The fault
+        hook injects exactly those failures — an aborted write, or a
+        *torn* entry at the final path, the state a crash between
+        write and rename leaves for ``fsck`` to reclaim.
+        """
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            action = faults.on_store_write(str(path))
+            if action == "abort":
+                raise OSError(f"injected write abort for {path}")
+            data = json.dumps(payload)
+            if action == "tear":
+                data = data[: max(1, len(data) // 3)]
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                       suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.write_errors += 1
 
     # -- parse layer ---------------------------------------------------------
 
@@ -230,6 +252,63 @@ class SuggestionStore:
         report["layers"] = layers
         return report
 
+    # -- integrity -----------------------------------------------------------
+
+    def fsck(self, remove: bool = True) -> dict:
+        """Scan every layer for torn or unreadable entries.
+
+        Readers already degrade such entries to cache misses, so a
+        corrupt entry costs a recompute on *every* hit until something
+        removes it — that something is this.  An entry is condemned by
+        the same predicate the readers use (:meth:`_read` returning
+        ``None``): unreadable, undecodable, truncated, or not a JSON
+        object.  Stale ``*.tmp`` files — writers that died between
+        ``mkstemp`` and ``os.replace`` — are reclaimed too.  Entries
+        vanishing mid-scan are skipped, matching :meth:`gc`.
+
+        With ``remove=False`` the scan only reports (``repro cache
+        fsck --dry-run``).  Returns per-layer ``scanned`` / ``corrupt``
+        / ``removed`` counters plus flat totals and the count of
+        reclaimed temp files.
+        """
+        layers = {
+            layer: {"scanned": 0, "corrupt": 0, "removed": 0}
+            for layer in ("parse", "suggest", "verdict", "other")
+        }
+        stale_tmp = 0
+        if self.base.is_dir():
+            for path in self.base.rglob("*.json"):
+                layer = layers[self._layer_of(path)]
+                if not path.is_file():
+                    continue
+                layer["scanned"] += 1
+                if self._read(path) is not None:
+                    continue
+                if not path.exists():      # vanished mid-scan
+                    layer["scanned"] -= 1
+                    continue
+                layer["corrupt"] += 1
+                if remove:
+                    try:
+                        path.unlink()
+                        layer["removed"] += 1
+                    except OSError:
+                        pass
+            for path in self.base.rglob("*.tmp"):
+                stale_tmp += 1
+                if remove:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        stale_tmp -= 1
+        report = {
+            counter: sum(layer[counter] for layer in layers.values())
+            for counter in ("scanned", "corrupt", "removed")
+        }
+        report["stale_tmp"] = stale_tmp
+        report["layers"] = layers
+        return report
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> dict:
@@ -240,6 +319,7 @@ class SuggestionStore:
             "suggest_misses": self.suggest_misses,
             "verdict_hits": self.verdict_hits,
             "verdict_misses": self.verdict_misses,
+            "write_errors": self.write_errors,
         }
 
     def describe(self) -> dict:

@@ -1,4 +1,4 @@
-"""Result streaming and merge for sharded serving.
+"""Result streaming, supervision, and merge for sharded serving.
 
 :func:`stream_shards` is the parent side of the sharded pipeline: it
 plans the corpus into size-balanced shards (:mod:`repro.serve.plan`),
@@ -8,27 +8,45 @@ back over a shared result queue — the first finished file surfaces long
 before the last shard completes.  :func:`merge_results` turns that
 index-tagged stream into the public ordered / as-completed iterators.
 
-Failure is loud and bounded: a worker that dies without reporting its
-shard done (segfault, ``os._exit``, OOM-kill) raises :class:`ServeError`
-in the consumer instead of hanging the stream, and an exception inside
-a worker travels back with its traceback.  Environments that cannot
-spawn processes at all degrade to the in-process pipeline rather than
-failing the request, mirroring the parse stage's fallback.
+The parent is a *supervisor*, not just a demultiplexer.  A worker that
+dies hard (segfault, SIGKILL, OOM) or stops heartbeating is detected,
+its unfinished files are requeued onto a respawned worker running in
+careful (one-file-at-a-time, claim-before-compute) mode, with bounded
+retries and exponential backoff; completed work is never redone because
+finished files were already streamed (and committed to the shared
+:class:`~repro.serve.store.SuggestionStore`).  Per-file blame tracking
+turns a *reproducibly* lethal input into a quarantine: a file that
+kills :data:`QUARANTINE_AFTER` workers is emitted as a structured
+per-file error record (``error="quarantined: ..."``) instead of
+aborting the run, and a lineage that exhausts its retry budget emits
+``error="worker-retry: ..."`` records for whatever remained.  Soft
+failures — an exception inside a worker — still travel back with their
+traceback and raise :class:`ServeError`: they indicate a bug, not an
+environment fault, and retrying a bug is noise.
+
+Environments that cannot spawn processes at all degrade to the
+in-process pipeline rather than failing the request, mirroring the
+parse stage's fallback.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections.abc import Iterator
 from queue import Empty
 
 from repro.serve.pipeline import FileSuggestions
-from repro.serve.plan import plan_shards
+from repro.serve.plan import Shard, plan_shards
 
 #: seconds between liveness checks while the result queue is idle
 _POLL_S = 0.25
 #: seconds to wait for a worker to exit after its shard reported done
 _JOIN_S = 10.0
+#: a file that was in flight in this many dying workers is quarantined
+QUARANTINE_AFTER = 2
+#: ceiling on the exponential respawn backoff
+_BACKOFF_CAP_S = 2.0
 
 
 class ServeError(RuntimeError):
@@ -61,11 +79,38 @@ def merge_results(
         yield buffered[index]
 
 
+class _Worker:
+    """Supervisor-side state for one live worker process."""
+
+    def __init__(self, proc, shard, *, careful: bool,
+                 lineage: int) -> None:
+        self.proc = proc
+        self.shard = shard
+        self.careful = careful
+        #: original sid of the first worker in this retry chain — the
+        #: retry budget is per lineage, not per respawn
+        self.lineage = lineage
+        self.claimed: int | None = None
+        self.last_seen = time.monotonic()
+
+
+def _error_record(revive, name: str, code: str, detail: str):
+    """A structured per-file failure in the caller's result type.
+
+    The payload carries the union of the fields every revive function
+    reads (suggestions + rewrites), so the same record shape works for
+    both the suggest and the verified-rewrite stream.
+    """
+    payload = {"error": f"{code}: {detail}", "suggestions": [],
+               "rewrites": [], "rewritten_source": None}
+    return revive(name, payload)
+
+
 def stream_shards(
     spec, named_sources: list[tuple[str, str]], n_shards: int,
     on_stats=None, revive=None,
 ) -> Iterator[tuple[int, FileSuggestions]]:
-    """Run ``named_sources`` through ``n_shards`` worker processes.
+    """Run ``named_sources`` through ``n_shards`` supervised workers.
 
     ``spec`` is a :class:`~repro.serve.worker.WorkerSpec`; each worker
     rebuilds the full service from it, runs parse → encode → forward →
@@ -77,28 +122,56 @@ def stream_shards(
     rebuilds each result from its ``(name, payload)`` wire form;
     default: :meth:`FileSuggestions.from_payload` (rewrite streams pass
     :meth:`FileRewrite.from_payload`).
+
+    Retry behaviour is governed by the spec's
+    :class:`~repro.serve.pipeline.ServeConfig`: ``max_retries`` worker
+    deaths per lineage, ``heartbeat_s`` silence before a live-but-mute
+    worker is presumed hung and killed, ``retry_backoff_s`` base of the
+    exponential respawn delay.
     """
     from repro.serve.worker import worker_main
 
     if revive is None:
         revive = FileSuggestions.from_payload
+    config = getattr(spec, "config", None)
+    max_retries = getattr(config, "max_retries", 3)
+    heartbeat_s = getattr(config, "heartbeat_s", 30.0)
+    backoff_s = getattr(config, "retry_backoff_s", 0.05)
+
     shards = plan_shards(list(named_sources), n_shards)
     if not shards:
         return
+    items_by_index: dict[int, tuple[str, str]] = {}
+    for shard in shards:
+        for index, item in zip(shard.indices, shard.items):
+            items_by_index[index] = item
+
     ctx = multiprocessing.get_context()
     queue = ctx.Queue()
-    procs: dict[int, multiprocessing.Process] = {}
+    workers: dict[int, _Worker] = {}
+    # fresh sids for respawned shards, so per-sid fault plans and
+    # worker messages never alias a dead worker's
+    next_sid_box = [max(s.sid for s in shards) + 1]
+    received: set[int] = set()
+    blame: dict[int, int] = {}
+    deaths: dict[int, int] = {}
+
+    def _spawn(shard: Shard, *, careful: bool, lineage: int) -> None:
+        proc = ctx.Process(target=worker_main,
+                           args=(spec, shard, queue, careful),
+                           daemon=True)
+        proc.start()
+        workers[shard.sid] = _Worker(proc, shard, careful=careful,
+                                     lineage=lineage)
+
     try:
         for shard in shards:
-            proc = ctx.Process(target=worker_main,
-                               args=(spec, shard, queue), daemon=True)
-            proc.start()
-            procs[shard.sid] = proc
+            _spawn(shard, careful=False, lineage=shard.sid)
     except (OSError, PermissionError):
         # No process support here (sandboxes, exhausted pids): serve
         # in-process instead of failing the request.
-        for proc in procs.values():
-            proc.terminate()
+        for worker in workers.values():
+            worker.proc.terminate()
         service = spec.build_service()
         named = list(named_sources)
         if getattr(spec, "mode", "suggest") == "rewrite":
@@ -111,56 +184,133 @@ def stream_shards(
             on_stats(service.cache_stats())
         return
 
-    done: set[int] = set()
+    def _handle(message) -> Iterator[tuple[int, FileSuggestions]]:
+        """Dispatch one worker message, yielding any finished file."""
+        kind, sid, *rest = message
+        worker = workers.get(sid)
+        if worker is not None:
+            worker.last_seen = time.monotonic()
+        if kind == "beat":
+            return
+        if kind == "claim":
+            if worker is not None:
+                worker.claimed = rest[0]
+        elif kind == "file":
+            index, name, payload = rest
+            # Late messages from an already-buried worker still carry
+            # valid work — accept anything not yet delivered.
+            if index not in received:
+                received.add(index)
+                if worker is not None and worker.claimed == index:
+                    worker.claimed = None
+                yield index, revive(name, payload)
+        elif kind == "done":
+            if worker is not None:
+                del workers[sid]
+                worker.proc.join(timeout=_JOIN_S)
+                if on_stats is not None:
+                    on_stats(rest[0])
+        elif kind == "error":
+            raise ServeError(f"shard worker {sid} failed:\n{rest[0]}")
+        else:  # pragma: no cover - protocol safety net
+            raise ServeError(f"unknown worker message kind {kind!r}")
+
+    def _bury(sid: int) -> Iterator[tuple[int, FileSuggestions]]:
+        """Handle one dead worker: blame, quarantine, respawn."""
+        worker = workers.pop(sid)
+        worker.proc.join(timeout=_JOIN_S)
+        unfinished = [i for i in worker.shard.indices
+                      if i not in received]
+        if not unfinished:
+            # Died after its last file (the "done" message was lost):
+            # the work arrived, only the stats did not.  Not a retry.
+            return
+        count = deaths[worker.lineage] = deaths.get(worker.lineage,
+                                                    0) + 1
+        if worker.careful:
+            # Careful mode pins the in-flight file: the claim when it
+            # arrived, else the first unfinished file — careful
+            # workers serve strictly in shard order, and a crash can
+            # lose the buffered claim with the process.  Blaming one
+            # suspect at most under-counts the true killer by a retry
+            # round; it never smears innocents into quarantine.
+            if (worker.claimed is not None
+                    and worker.claimed not in received):
+                suspect = worker.claimed
+            else:
+                suspect = unfinished[0]
+            blame[suspect] = blame.get(suspect, 0) + 1
+        else:
+            # Batch mode: any unfinished file could be the killer.
+            for index in unfinished:
+                blame[index] = blame.get(index, 0) + 1
+        if count > max_retries:
+            for index in unfinished:
+                received.add(index)
+                yield index, _error_record(
+                    revive, items_by_index[index][0], "worker-retry",
+                    f"shard worker died {count} times; retry budget "
+                    f"({max_retries}) exhausted")
+            return
+        remaining: list[int] = []
+        for index in unfinished:
+            if blame.get(index, 0) >= QUARANTINE_AFTER:
+                received.add(index)
+                yield index, _error_record(
+                    revive, items_by_index[index][0], "quarantined",
+                    f"file was in flight in {blame[index]} worker "
+                    f"deaths; not retrying")
+            else:
+                remaining.append(index)
+        if not remaining:
+            return
+        delay = min(_BACKOFF_CAP_S, backoff_s * (2 ** (count - 1)))
+        if delay > 0:
+            time.sleep(delay)
+        shard = Shard(sid=next_sid_box[0])
+        next_sid_box[0] += 1
+        for index in remaining:
+            shard.add(index, items_by_index[index])
+        try:
+            _spawn(shard, careful=True, lineage=worker.lineage)
+        except (OSError, PermissionError):
+            for index in remaining:
+                received.add(index)
+                yield index, _error_record(
+                    revive, items_by_index[index][0], "worker-retry",
+                    "could not respawn a shard worker")
+
     try:
-        while len(done) < len(shards):
+        while workers:
             try:
-                kind, sid, *rest = queue.get(timeout=_POLL_S)
+                message = queue.get(timeout=_POLL_S)
             except Empty:
-                dead = [sid for sid, proc in procs.items()
-                        if sid not in done and proc.exitcode is not None]
-                if dead:
-                    # Drain messages that raced the exit before judging.
-                    leftovers = _drain(queue)
-                    for kind, sid, *rest in leftovers:
-                        yield from _handle(kind, sid, rest, done,
-                                           on_stats, revive)
-                    still_dead = [sid for sid in dead if sid not in done]
-                    if still_dead:
-                        codes = {sid: procs[sid].exitcode
-                                 for sid in still_dead}
-                        raise ServeError(
-                            f"shard worker(s) {sorted(codes)} exited "
-                            f"(exit codes {codes}) before completing "
-                            f"their shard; partial results were "
-                            f"discarded"
-                        )
+                now = time.monotonic()
+                suspects = []
+                for sid, worker in list(workers.items()):
+                    if worker.proc.exitcode is not None:
+                        suspects.append(sid)
+                    elif now - worker.last_seen > heartbeat_s:
+                        # Alive but silent past the heartbeat window:
+                        # presumed hung; reap it and requeue its work.
+                        worker.proc.kill()
+                        suspects.append(sid)
+                if suspects:
+                    # Drain messages that raced the exit before judging
+                    # what each dead worker actually left unfinished.
+                    for message in _drain(queue):
+                        yield from _handle(message)
+                    for sid in suspects:
+                        if sid in workers:
+                            yield from _bury(sid)
                 continue
-            yield from _handle(kind, sid, rest, done, on_stats, revive)
-        for proc in procs.values():
-            proc.join(timeout=_JOIN_S)
+            yield from _handle(message)
     finally:
-        for proc in procs.values():
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=_JOIN_S)
+        for worker in workers.values():
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=_JOIN_S)
         queue.close()
-
-
-def _handle(kind: str, sid: int, rest: list, done: set[int],
-            on_stats, revive) -> Iterator[tuple[int, FileSuggestions]]:
-    """Dispatch one worker message, yielding any finished file."""
-    if kind == "file":
-        index, name, payload = rest
-        yield index, revive(name, payload)
-    elif kind == "done":
-        done.add(sid)
-        if on_stats is not None:
-            on_stats(rest[0])
-    elif kind == "error":
-        raise ServeError(f"shard worker {sid} failed:\n{rest[0]}")
-    else:  # pragma: no cover - protocol safety net
-        raise ServeError(f"unknown worker message kind {kind!r}")
 
 
 def _drain(queue) -> list:

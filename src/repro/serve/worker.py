@@ -12,20 +12,38 @@ It then runs parse → encode → block-diagonal forward → fan-out
 path, and streams per-file results back over the result queue as they
 complete.
 
-The wire protocol (``("file", sid, index, name, payload)`` /
-``("done", sid, stats)`` / ``("error", sid, traceback)``) carries only
-JSON-shaped payloads — the same shapes the persistent store writes —
-never live model or AST objects.
+The wire protocol carries only JSON-shaped payloads — the same shapes
+the persistent store writes — never live model or AST objects:
+
+- ``("file", sid, index, name, payload)`` — one finished file,
+- ``("done", sid, stats)`` — shard complete, worker cache counters,
+- ``("error", sid, traceback)`` — a soft failure with its traceback,
+- ``("beat", sid)`` — liveness, sent by a background thread every
+  :data:`_BEAT_S` so the supervisor can tell *slow* from *hung*,
+- ``("claim", sid, index)`` — careful mode only: sent before a file is
+  computed, so a crash can be blamed on exactly one input.
+
+Careful mode (``worker_main(..., careful=True)``) is how a respawned
+worker re-runs a shard that already killed a sibling: files are served
+one at a time with a claim ahead of each, trading batch throughput for
+per-file blame — the supervisor quarantines an input that keeps
+killing workers instead of retrying it forever.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.serve import faults
 from repro.serve.pipeline import ServeConfig, SuggestionService
 from repro.serve.store import SuggestionStore
+
+#: seconds between liveness beats (clamped below heartbeat_s / 4)
+_BEAT_S = 0.5
 
 
 @dataclass(frozen=True)
@@ -77,26 +95,106 @@ class WorkerSpec:
                                  self.config, store=store)
 
 
-def worker_main(spec: WorkerSpec, shard, queue) -> None:
-    """Process entrypoint: serve one shard, streaming results back.
+class _Heartbeat:
+    """Background thread putting ``("beat", sid)`` on the queue.
 
-    Any failure — spec resolution, artifact loading, the pipeline
-    itself — is reported as an ``("error", ...)`` message carrying the
-    traceback, and the process exits nonzero so the parent detects the
-    death even if the message is lost.
+    Beats come from a daemon thread, not the serving loop, so a worker
+    that is merely *busy* (one huge file mid-forward) keeps beating —
+    only a process that is truly wedged (or killed) goes silent and
+    trips the supervisor's heartbeat timeout.
     """
-    try:
-        service = spec.build_service()
+
+    def __init__(self, sid: int, queue, interval: float) -> None:
+        self._sid = sid
+        self._queue = queue
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._queue.put(("beat", self._sid))
+            except (OSError, ValueError):   # queue torn down mid-beat
+                return
+
+
+def _iter_results(service, spec: WorkerSpec, shard, queue, careful: bool):
+    """Yield ``(local_index, result)`` for the shard.
+
+    Batch mode runs the whole shard through the staged pipeline (best
+    throughput).  Careful mode serves one file per pipeline pass with a
+    ``claim`` message ahead of each, so the supervisor knows exactly
+    which input was in flight if this process dies.
+    """
+    if not careful:
         if spec.mode == "rewrite":
-            results = service.iter_rewrites(
+            yield from service.iter_rewrites(
                 shard.items, verify=spec.verify,
                 rewrite_config=spec.verify_config)
         else:
-            results = service.iter_sources(shard.items)
-        for local_index, result in results:
+            yield from service.iter_sources(shard.items)
+        return
+    for local_index, item in enumerate(shard.items):
+        queue.put(("claim", shard.sid, shard.indices[local_index]))
+        if spec.mode == "rewrite":
+            results = service.iter_rewrites(
+                [item], verify=spec.verify,
+                rewrite_config=spec.verify_config)
+        else:
+            results = service.iter_sources([item])
+        for _, result in results:
+            yield local_index, result
+
+
+def worker_main(spec: WorkerSpec, shard, queue,
+                careful: bool = False) -> None:
+    """Process entrypoint: serve one shard, streaming results back.
+
+    Any soft failure — spec resolution, artifact loading, the pipeline
+    itself — is reported as an ``("error", ...)`` message carrying the
+    traceback, and the process exits nonzero so the parent detects the
+    death even if the message is lost.  Hard deaths (SIGKILL, OOM) skip
+    all of this; the supervisor catches them via exit codes and the
+    heartbeat going silent.
+    """
+    heartbeat_s = getattr(spec.config, "heartbeat_s", 30.0)
+    interval = min(_BEAT_S, max(0.05, heartbeat_s / 4.0))
+    heartbeat = _Heartbeat(shard.sid, queue, interval)
+    heartbeat.start()
+    try:
+        service = spec.build_service()
+        files_done = 0
+        for local_index, result in _iter_results(service, spec, shard,
+                                                 queue, careful):
+            action = faults.on_worker_file(shard.sid, files_done,
+                                           result.name)
+            if action == "hang":
+                # A real hang freezes every thread; emulate by silencing
+                # the heartbeat first, or the timeout could never fire.
+                heartbeat.stop()
+                time.sleep(faults.HANG_S)
+            elif action == "kill":
+                # Flush buffered messages (emitted files, the claim)
+                # to the pipe before dying: the fault contract is
+                # "killed after N files", so those N must be delivered
+                # — SIGKILL would otherwise take the queue's feeder
+                # thread down with its buffer.
+                queue.close()
+                queue.join_thread()
+                faults.kill_self()
             queue.put(("file", shard.sid, shard.indices[local_index],
                        result.name, result.to_payload()))
+            files_done += 1
         queue.put(("done", shard.sid, service.cache_stats()))
     except BaseException:
         queue.put(("error", shard.sid, traceback.format_exc()))
         sys.exit(1)
+    finally:
+        heartbeat.stop()

@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.client import Client, ClientError, connect
+from repro.client import Client, ClientError, RetryPolicy, connect
 from repro.serve import (
     SuggestionService,
     SuggestionStore,
@@ -54,6 +54,27 @@ class _StubModel:
 
     def fingerprint(self) -> str:
         return f"stub:{self.name}:{self.value}"
+
+
+class _SlowModel(_StubModel):
+    """Stub whose forward takes a fixed wall time — for timeout and
+    deadline tests that need a reply slower than the client waits."""
+
+    def __init__(self, value: int, name: str = "slow",
+                 delay_s: float = 1.0) -> None:
+        super().__init__(value, name)
+        self.delay_s = delay_s
+
+    def predict_samples(self, samples):
+        time.sleep(self.delay_s)
+        return super().predict_samples(samples)
+
+
+def _slow_service(delay_s: float) -> SuggestionService:
+    return SuggestionService(
+        _SlowModel(1, delay_s=delay_s),
+        {"reduction": _StubModel(0, "slow-red")},
+    )
 
 
 def _service(store=None, parallel=1, name="stub") -> SuggestionService:
@@ -344,6 +365,81 @@ class TestServing:
             streamed = list(client.stream_sources(
                 [("after.c", OTHER_SOURCE)]))
             assert [r.name for r in streamed] == ["after.c"]
+
+
+class TestClientResilience:
+    def test_read_timeout_does_not_poison_the_connection(self):
+        """Regression: a reply slower than the client's read timeout
+        leaves the old reply's frames in flight; the next request must
+        not read them as its own results."""
+        with SuggestServer({"default": _service(),
+                            "slow": _slow_service(1.5)}).start() as srv:
+            client = connect(srv.address, timeout=0.4)
+            try:
+                with pytest.raises(ClientError) as exc:
+                    client.suggest_sources([("slow.c", GOOD_SOURCE)],
+                                           bundle="slow")
+                assert exc.value.code == "timeout"
+                # without the reconnect, these results would be the
+                # timed-out request's late frames
+                results = client.suggest_sources(
+                    [("fresh.c", OTHER_SOURCE)])
+                assert [r.name for r in results] == ["fresh.c"]
+                assert results[0].suggestions
+            finally:
+                client.close()
+
+    def test_ping_answers_with_queue_depth(self, server):
+        with connect(server.address) as client:
+            assert client.capabilities["ping"] is True
+            pong = client.ping(token="probe-1")
+            assert pong.token == "probe-1"
+            assert pong.queued == 0
+            assert pong.running == 0
+
+    def test_degraded_bundle_surfaces_in_capabilities(self):
+        srv = SuggestServer(
+            {"default": _service()},
+            degraded={"broken": "manifest corrupt"},
+        ).start()
+        try:
+            with connect(srv.address) as client:
+                assert client.capabilities["degraded"] == {
+                    "broken": "manifest corrupt"}
+                with pytest.raises(ClientError) as exc:
+                    client.suggest_sources([("a.c", GOOD_SOURCE)],
+                                           bundle="broken")
+                assert exc.value.code == "unknown-bundle"
+                assert "manifest corrupt" in str(exc.value)
+                # the refusal names the load failure but keeps both
+                # the connection and the healthy bundle serving
+                results = client.suggest_sources([("a.c", GOOD_SOURCE)])
+                assert results[0].suggestions
+        finally:
+            srv.shutdown()
+
+    def test_deadline_exceeded_is_an_error_not_a_hang(self):
+        with SuggestServer({"default": _slow_service(1.0)}).start() \
+                as srv:
+            with connect(srv.address, deadline_s=0.2) as client:
+                start = time.monotonic()
+                with pytest.raises(ClientError) as exc:
+                    client.suggest_sources([("a.c", GOOD_SOURCE)])
+                assert exc.value.code == "deadline-exceeded"
+                assert time.monotonic() - start < 10
+
+    def test_retry_policy_reconnects_after_connection_loss(self, server):
+        client = connect(server.address,
+                         retry=RetryPolicy(base_delay_s=0.01))
+        try:
+            # sever the transport under the client's feet
+            client._sock.close()
+            client._broken = True
+            results = client.suggest_sources([("a.c", GOOD_SOURCE)])
+            assert [r.name for r in results] == ["a.c"]
+            assert results[0].suggestions
+        finally:
+            client.close()
 
 
 class TestLifecycle:

@@ -494,6 +494,61 @@ class TestStoreGC:
         assert next(iter(survivors)) == frozenset(paths[:2])
 
 
+class TestFsck:
+    """``repro cache fsck``: torn entries found, reported, reclaimed."""
+
+    def test_removes_torn_entries_and_stale_tmp(self, tmp_path):
+        store = SuggestionStore(tmp_path)
+        store.put_parse("good", {"requests": [], "error": None})
+        store.put_parse("torn", {"requests": [], "error": None})
+        torn = store._parse_path("torn")
+        torn.write_text(torn.read_text()[:7])
+        (torn.parent / "dead-writer.tmp").write_text("{")
+        report = store.fsck(remove=False)        # dry run: report only
+        assert report["scanned"] == 2
+        assert report["corrupt"] == 1
+        assert report["removed"] == 0
+        assert torn.exists()
+        report = store.fsck()
+        assert report["corrupt"] == report["removed"] == 1
+        assert report["stale_tmp"] == 1
+        assert report["layers"]["parse"]["removed"] == 1
+        assert not torn.exists()
+        assert not list(store.base.rglob("*.tmp"))
+        # the good entry survived and still reads
+        assert store.get_parse("good") == {"requests": [], "error": None}
+
+    def test_injected_torn_write_is_caught_by_fsck(self, tmp_path):
+        from repro.serve import Fault, FaultPlan, faults
+
+        store = SuggestionStore(tmp_path)
+        faults.activate(FaultPlan((Fault("tear-entry"),)))
+        try:
+            store.put_parse("victim", {"requests": [], "error": None})
+        finally:
+            faults.reset()
+        # the torn entry degrades to a miss for readers...
+        assert store.get_parse("victim") is None
+        # ...and fsck removes it so it stops costing a recompute
+        report = store.fsck()
+        assert report["corrupt"] == 1
+        assert not store._parse_path("victim").exists()
+
+    def test_injected_abort_write_degrades_to_counter(self, tmp_path):
+        from repro.serve import Fault, FaultPlan, faults
+
+        store = SuggestionStore(tmp_path)
+        faults.activate(FaultPlan((Fault("abort-write"),)))
+        try:
+            store.put_parse("k", {"requests": [], "error": None})
+        finally:
+            faults.reset()
+        # the cache is an accelerator: a failed write is a counter,
+        # never an exception on the serving path
+        assert store.stats()["write_errors"] == 1
+        assert store.get_parse("k") is None
+
+
 class TestDescribe:
     def test_counts_layers_on_disk(self, tmp_path):
         store = SuggestionStore(tmp_path / "cache")
@@ -513,4 +568,5 @@ class TestDescribe:
         store = SuggestionStore(tmp_path / "cache")
         assert store.stats() == {"parse_hits": 0, "parse_misses": 0,
                                  "suggest_hits": 0, "suggest_misses": 0,
-                                 "verdict_hits": 0, "verdict_misses": 0}
+                                 "verdict_hits": 0, "verdict_misses": 0,
+                                 "write_errors": 0}
