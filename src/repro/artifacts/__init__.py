@@ -32,6 +32,7 @@ from repro.artifacts.bundle import (
 )
 from repro.artifacts.registry import (
     BundleRegistry,
+    archive_sha256,
     bundle_name_from_path,
     parse_bundle_spec,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "BundleError",
     "BundleRegistry",
     "SuggesterBundle",
+    "archive_sha256",
     "bundle_name_from_path",
     "family_of",
     "load_trained",

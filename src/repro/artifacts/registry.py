@@ -15,12 +15,27 @@ per-name so the daemon can surface them in its capabilities.
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
-from repro.artifacts.bundle import SuggesterBundle
+from repro.artifacts.bundle import BundleError, SuggesterBundle
 
 #: archive suffixes stripped when deriving a bundle name from its path
 _ARCHIVE_SUFFIXES = (".tar.gz", ".tgz", ".tar")
+
+
+def archive_sha256(path: str | Path) -> str:
+    """SHA-256 hex digest of an archive file's bytes.
+
+    The content address bundle distribution pushes, caches, and
+    resolves by — two peers hold the same advisor exactly when their
+    archives hash identically.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def bundle_name_from_path(path: str | Path) -> str:
@@ -55,6 +70,9 @@ class BundleRegistry:
 
     def __init__(self) -> None:
         self._bundles: dict[str, SuggesterBundle] = {}
+        #: registry name → archive sha256, for bundles that loaded
+        #: from a single-file archive (directories have no stable hash)
+        self._hashes: dict[str, str] = {}
         self.default: str | None = None
 
     @classmethod
@@ -100,15 +118,70 @@ class BundleRegistry:
                 failures[name] = str(exc)
         return registry, failures
 
-    def add(self, name: str, bundle: SuggesterBundle) -> None:
+    def add(self, name: str, bundle: SuggesterBundle,
+            sha256: str | None = None) -> None:
         if name in self._bundles:
             raise ValueError(
                 f"bundle name {name!r} registered twice; "
                 f"use NAME=PATH specs to disambiguate"
             )
+        if sha256 is None:
+            source = getattr(bundle, "source_path", None)
+            if source is not None and Path(source).is_file():
+                sha256 = archive_sha256(source)
         self._bundles[name] = bundle
+        if sha256 is not None:
+            self._hashes[name] = sha256
         if self.default is None:
             self.default = name
+
+    def add_archive(self, path: str | Path, name: str | None = None,
+                    expect_sha256: str | None = None) -> str:
+        """Load and register an archive, verifying its content hash.
+
+        The hash is computed from the bytes on disk *before* the
+        archive is trusted enough to unpack; when ``expect_sha256`` is
+        given a mismatch refuses the bundle outright — a registry must
+        never serve an advisor under a content address it does not
+        have.  Returns the registered name.
+        """
+        digest = archive_sha256(path)
+        if expect_sha256 is not None and digest != expect_sha256:
+            raise BundleError(
+                f"bundle archive {path} hashes to {digest[:12]}…, "
+                f"expected {expect_sha256[:12]}…; refusing to load")
+        if name is None:
+            name = bundle_name_from_path(path)
+        self.add(name, SuggesterBundle.load(path), sha256=digest)
+        return name
+
+    def resolve(self, ref: str) -> str:
+        """Registry name for ``ref``: a name, or an archive-hash prefix.
+
+        Exact names win; otherwise ``ref`` is matched as a prefix of
+        the registered archive hashes.  An ambiguous prefix raises —
+        silently picking one of two advisors is how stale advice ships.
+        """
+        if ref in self._bundles:
+            return ref
+        matches = sorted(name for name, digest in self._hashes.items()
+                         if digest.startswith(ref))
+        if len(matches) > 1:
+            raise ValueError(
+                f"bundle ref {ref!r} is ambiguous: matches "
+                f"{matches}; use a longer hash prefix")
+        if not matches:
+            raise KeyError(
+                f"unknown bundle {ref!r}; serving: {self.names()}")
+        return matches[0]
+
+    def sha256_of(self, name: str) -> str | None:
+        """Archive hash of a registered bundle (``None`` for dirs)."""
+        return self._hashes.get(name)
+
+    def hashes(self) -> dict[str, str]:
+        """``name → archive sha256`` for every hash-addressed bundle."""
+        return dict(self._hashes)
 
     def get(self, name: str | None) -> SuggesterBundle:
         """The named bundle (``None`` = the default one)."""

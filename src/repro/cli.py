@@ -24,7 +24,17 @@
                        (``gc`` prunes by size/age, ``stats`` reports
                        entry counts/bytes per layer and the in-process
                        analysis memo counters, ``fsck`` removes torn
-                       or unreadable entries left by crashed writers)
+                       or unreadable entries left by crashed writers;
+                       a ``net:HOST:PORT`` cache dir maintains a
+                       daemon's store over the wire)
+``repro ping``         probe a running daemon: round-trip latency,
+                       queue depth, capabilities, degraded bundles
+
+Distributed serving: ``repro suggest-dir --peers A,B --bundle X``
+fans the corpus out across running daemons as remote shards — the
+bundle archive is pushed to each peer at most once (content-addressed
+by SHA-256), peer loss mid-run requeues onto the remaining peers, and
+results are byte-identical to the in-process run.
 
 Fault tolerance surfaces here too: ``--faults PLAN`` (on ``serve``,
 ``suggest-dir`` and ``rewrite-dir``) arms a deterministic
@@ -230,6 +240,79 @@ def _shards_arg(value: str):
     return shards
 
 
+def _parse_peers(spec: str | None) -> tuple[str, ...]:
+    """``--peers`` parser: comma-separated daemon addresses."""
+    if not spec:
+        return ()
+    return tuple(p.strip() for p in spec.split(",") if p.strip())
+
+
+def _provision_fabric(peers: tuple[str, ...],
+                      bundle_ref: str) -> tuple[str, ...] | None:
+    """Make every peer serve the advisor; returns per-peer names.
+
+    A ``bundle_ref`` that exists locally (bundle directory or archive)
+    is distributed content-addressed: each peer is asked for the
+    archive's SHA-256 first and the bytes are pushed only on a miss —
+    so re-runs against a provisioned fleet ship nothing.  Anything
+    else is treated as the *name* of a bundle each peer must already
+    serve.  Returns ``None`` (after printing why) when a peer is
+    unreachable or refuses the bundle.
+    """
+    from pathlib import Path
+
+    from repro.client import ClientError, connect
+
+    if Path(bundle_ref).exists():
+        import tempfile
+
+        from repro.fabric import archive_for, provision_peers
+
+        with tempfile.TemporaryDirectory(prefix="repro-fabric-") as tmp:
+            archive = archive_for(bundle_ref, tmp)
+            try:
+                report = provision_peers(peers, archive)
+            except (ClientError, OSError) as exc:
+                print(f"fabric: cannot provision peers: {exc}",
+                      file=sys.stderr)
+                return None
+        for pb in report:
+            what = "pushed" if pb.pushed else "cache hit"
+            print(f"fabric: peer {pb.peer}: {what} {pb.name} "
+                  f"({pb.sha256[:12]})", file=sys.stderr)
+        return tuple(pb.name for pb in report)
+    for peer in peers:
+        try:
+            with connect(peer, client_id="repro.fabric/check") as client:
+                if bundle_ref not in client.bundles():
+                    print(f"fabric: peer {peer} does not serve bundle "
+                          f"{bundle_ref!r} (available: "
+                          f"{client.bundles()})", file=sys.stderr)
+                    return None
+        except (ClientError, OSError) as exc:
+            print(f"fabric: cannot reach peer {peer}: {exc}",
+                  file=sys.stderr)
+            return None
+    return tuple(bundle_ref for _ in peers)
+
+
+def _read_corpus(paths) -> list[tuple[str, str]] | None:
+    """``(name, source)`` pairs for the fabric path, or ``None``.
+
+    Remote peers cannot read the coordinator's filesystem, so the
+    corpus travels inline — same contents the in-process pipeline
+    would read, keeping results byte-identical.
+    """
+    named = []
+    for path in paths:
+        try:
+            named.append((str(path), path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"fabric: cannot read {path}: {exc}", file=sys.stderr)
+            return None
+    return named
+
+
 def suggest_dir_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro suggest-dir",
@@ -245,6 +328,16 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                              "instead of building models in-process; "
                              "file contents travel over the wire, "
                              "results are byte-identical")
+    parser.add_argument("--peers", default=None, metavar="A,B",
+                        help="comma-separated addresses of running "
+                             "daemons: fan the corpus out across them "
+                             "as remote shards (one per peer); a peer "
+                             "lost mid-run requeues onto the rest; "
+                             "requires --bundle (a local bundle path "
+                             "is pushed content-addressed, at most "
+                             "once per peer; a bare name must already "
+                             "be served by every peer); mutually "
+                             "exclusive with --server")
     parser.add_argument("--workers", type=int, default=1,
                         help="parse-stage worker processes (1 = in-process)")
     parser.add_argument("--shards", type=_shards_arg, default=None,
@@ -303,7 +396,23 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
         return 2
     client = None
     service = None
-    if args.server:
+    peers = _parse_peers(args.peers)
+    peer_bundles: tuple[str, ...] = ()
+    if peers:
+        if args.server:
+            print("--peers and --server are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if not args.bundle:
+            print("--peers requires --bundle: the advisor every peer "
+                  "serves (a local bundle path, or a name they "
+                  "already serve)", file=sys.stderr)
+            return 2
+        provisioned = _provision_fabric(peers, args.bundle)
+        if provisioned is None:
+            return 2
+        peer_bundles = provisioned
+    elif args.server:
         from repro.client import ClientError, RetryPolicy, connect
 
         ignored = [
@@ -366,6 +475,11 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                                     cache_dir=args.cache_dir)
 
     paths = sorted(Path(args.directory).rglob(args.pattern))
+    named = None
+    if peers:
+        named = _read_corpus(paths)
+        if named is None:
+            return 2
     summary_out = sys.stderr if args.stream else sys.stdout
     start = time.perf_counter()
     try:
@@ -375,12 +489,18 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
             # closed by one {"event": "done", ...} summary record so
             # consumers can tell a clean end from a dropped pipe
             results = []
-            stream = (
-                client.stream_paths(paths, bundle=args.bundle,
-                                    ordered=False, shards=args.shards)
-                if client is not None
-                else service.stream_paths(paths, ordered=False)
-            )
+            if peers:
+                from repro.fabric import stream_fabric
+
+                stream = stream_fabric(peers, named, mode="suggest",
+                                       peer_bundles=peer_bundles,
+                                       ordered=False)
+            elif client is not None:
+                stream = client.stream_paths(paths, bundle=args.bundle,
+                                             ordered=False,
+                                             shards=args.shards)
+            else:
+                stream = service.stream_paths(paths, ordered=False)
             for r in stream:
                 _ndjson_record(_structured_error(r.name, r.error) or {
                     "file": r.name,
@@ -397,6 +517,12 @@ def suggest_dir_main(argv: list[str] | None = None) -> int:
                 "errors": sum(1 for r in results if r.error),
                 "elapsed_s": round(time.perf_counter() - start, 3),
             })
+        elif peers:
+            from repro.fabric import stream_fabric
+
+            results = list(stream_fabric(peers, named, mode="suggest",
+                                         peer_bundles=peer_bundles,
+                                         ordered=True))
         elif client is not None:
             results = client.suggest_paths(paths, bundle=args.bundle,
                                            shards=args.shards)
@@ -477,6 +603,13 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                              "daemon at HOST:PORT or unix:/path.sock "
                              "instead of building models in-process; "
                              "results are byte-identical")
+    parser.add_argument("--peers", default=None, metavar="A,B",
+                        help="comma-separated addresses of running "
+                             "daemons: fan the corpus out across them "
+                             "as remote shards (one per peer); a peer "
+                             "lost mid-run requeues onto the rest; "
+                             "requires --bundle; mutually exclusive "
+                             "with --server")
     parser.add_argument("--workers", type=int, default=1,
                         help="parse-stage worker processes (1 = in-process)")
     parser.add_argument("--shards", type=_shards_arg, default=None,
@@ -535,7 +668,23 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
         return 2
     client = None
     service = None
-    if args.server:
+    peers = _parse_peers(args.peers)
+    peer_bundles: tuple[str, ...] = ()
+    if peers:
+        if args.server:
+            print("--peers and --server are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if not args.bundle:
+            print("--peers requires --bundle: the advisor every peer "
+                  "serves (a local bundle path, or a name they "
+                  "already serve)", file=sys.stderr)
+            return 2
+        provisioned = _provision_fabric(peers, args.bundle)
+        if provisioned is None:
+            return 2
+        peer_bundles = provisioned
+    elif args.server:
         from repro.client import ClientError, RetryPolicy, connect
 
         ignored = [
@@ -609,19 +758,30 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
         }
 
     paths = sorted(Path(args.directory).rglob(args.pattern))
+    named = None
+    if peers:
+        named = _read_corpus(paths)
+        if named is None:
+            return 2
     summary_out = sys.stderr if args.stream else sys.stdout
     start = time.perf_counter()
     try:
         if args.stream:
             results = []
-            stream = (
-                client.stream_rewrite_paths(
+            if peers:
+                from repro.fabric import stream_fabric
+
+                stream = stream_fabric(peers, named, mode="rewrite",
+                                       verify=args.verify,
+                                       peer_bundles=peer_bundles,
+                                       ordered=False)
+            elif client is not None:
+                stream = client.stream_rewrite_paths(
                     paths, bundle=args.bundle, ordered=False,
                     verify=args.verify, shards=args.shards)
-                if client is not None
-                else service.stream_rewrite_paths(
+            else:
+                stream = service.stream_rewrite_paths(
                     paths, ordered=False, verify=args.verify)
-            )
             for r in stream:
                 _ndjson_record(_structured_error(r.name, r.error)
                                or _record(r))
@@ -643,6 +803,13 @@ def rewrite_dir_main(argv: list[str] | None = None) -> int:
                 done["verifier"] = service.cache_stats()["verify"]
                 done["simulations"] = done["verifier"]["simulations"]
             _ndjson_record(done)
+        elif peers:
+            from repro.fabric import stream_fabric
+
+            results = list(stream_fabric(peers, named, mode="rewrite",
+                                         verify=args.verify,
+                                         peer_bundles=peer_bundles,
+                                         ordered=True))
         elif client is not None:
             results = client.rewrite_paths(paths, bundle=args.bundle,
                                            verify=args.verify,
@@ -718,6 +885,14 @@ def serve_main(argv: list[str] | None = None) -> int:
                              "from the path); repeatable — clients "
                              "select by name, the first one is the "
                              "default")
+    parser.add_argument("--accept-bundles", action="store_true",
+                        help="accept content-addressed bundle pushes "
+                             "over the wire: pushed archives are "
+                             "verified by SHA-256, cached under the "
+                             "cache dir, and served immediately; with "
+                             "no --bundle the daemon starts *empty* "
+                             "(no on-the-fly training) and acquires "
+                             "every advisor from its clients")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent suggestion store shared by "
                              "every client (default: a fresh "
@@ -844,11 +1019,29 @@ def serve_main(argv: list[str] | None = None) -> int:
         print(f"serve: using ephemeral cache {cache_dir} "
               f"(pass --cache-dir to persist)", file=sys.stderr)
 
+    if args.accept_bundles:
+        if str(cache_dir).startswith("net:"):
+            import tempfile
+
+            net_kwargs["bundle_cache_dir"] = tempfile.mkdtemp(
+                prefix="repro-serve-bundles-")
+        else:
+            from pathlib import Path
+
+            net_kwargs["bundle_cache_dir"] = Path(cache_dir) / "bundles"
+
     if registry is not None:
         server = SuggestServer.from_registry(
             registry, serve_config, cache_dir=cache_dir, **net_kwargs)
         print(f"serve: loaded bundles {registry.names()} "
               f"(default: {registry.default})", file=sys.stderr)
+    elif args.accept_bundles:
+        # self-provisioning peer: no training, no bundles — every
+        # advisor arrives as a content-addressed push from a client
+        server = SuggestServer({}, serve_config=serve_config,
+                               cache_dir=cache_dir, **net_kwargs)
+        print("serve: no advisors yet; accepting pushed bundles",
+              file=sys.stderr)
     else:
         from repro.eval.config import ExperimentConfig
         from repro.eval.context import get_context
@@ -858,7 +1051,9 @@ def serve_main(argv: list[str] | None = None) -> int:
             dim=args.dim,
         ))
         service = build_service(ctx, serve_config, cache_dir=cache_dir)
-        server = SuggestServer({"default": service}, **net_kwargs)
+        server = SuggestServer({"default": service},
+                               serve_config=serve_config,
+                               cache_dir=cache_dir, **net_kwargs)
         print("serve: trained on-the-fly models (bundle 'default')",
               file=sys.stderr)
 
@@ -974,9 +1169,9 @@ def cache_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.action == "fsck":
-        from repro.serve import SuggestionStore
+        from repro.serve import open_store
 
-        report = SuggestionStore(args.cache_dir).fsck(
+        report = open_store(args.cache_dir).fsck(
             remove=not args.dry_run)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
@@ -993,13 +1188,13 @@ def cache_main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.action == "stats":
-        from repro.serve import SuggestionStore
+        from repro.serve import open_store
         from repro.tools.deps import cache_stats as deps_cache_stats
 
         # note: no store hit/miss counters here — those are per-process
         # (this process did no lookups); the on-disk scan is the truth
         payload = {
-            "store": SuggestionStore(args.cache_dir).describe(),
+            "store": open_store(args.cache_dir).describe(),
             "analyze_loop": deps_cache_stats(),
         }
         if args.json:
@@ -1026,9 +1221,9 @@ def cache_main(argv: list[str] | None = None) -> int:
         print("cache gc: pass --max-bytes and/or --max-age-days "
               "(otherwise there is nothing to prune)", file=sys.stderr)
         return 2
-    from repro.serve import SuggestionStore
+    from repro.serve import open_store
 
-    result = SuggestionStore(args.cache_dir).gc(
+    result = open_store(args.cache_dir).gc(
         max_bytes=args.max_bytes, max_age_days=args.max_age_days,
     )
     if args.json:
@@ -1047,6 +1242,65 @@ def cache_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def ping_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro ping",
+        description="Probe a running `repro serve` daemon: round-trip "
+                    "latency, admission queue depth, capabilities, and "
+                    "degraded bundles.",
+    )
+    parser.add_argument("address", help="HOST:PORT or unix:/path.sock")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        metavar="S", help="connect/read timeout "
+                        "(default: 10s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON object")
+    args = parser.parse_args(argv)
+
+    from repro.client import ClientError, connect
+
+    start = time.perf_counter()
+    try:
+        with connect(args.address, timeout=args.timeout,
+                     client_id="repro.ping") as client:
+            pong = client.ping()
+    except (ClientError, OSError) as exc:
+        print(f"no pong from {args.address}: {exc}", file=sys.stderr)
+        return 1
+    rtt_ms = (time.perf_counter() - start) * 1e3
+    caps = pong.capabilities or client.capabilities
+    if args.json:
+        print(json.dumps({
+            "address": args.address,
+            "rtt_ms": round(rtt_ms, 3),
+            "queued": pong.queued,
+            "running": pong.running,
+            "capabilities": caps,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"pong from {args.address} in {rtt_ms:.1f}ms "
+          f"(handshake + probe)")
+    print(f"  load: {pong.queued} queued requests, "
+          f"{pong.running} running rounds")
+    bundles = caps.get("bundles", [])
+    default = caps.get("default_bundle")
+    if bundles:
+        print(f"  bundles: {', '.join(bundles)} (default: {default})")
+    else:
+        print("  bundles: none yet")
+    fabric = []
+    if caps.get("bundle_push"):
+        fabric.append("accepts pushed bundles")
+    if caps.get("network_store"):
+        fabric.append("shares its suggestion store")
+    if caps.get("fabric"):
+        print(f"  fabric: {', '.join(fabric) if fabric else 'peer only'}")
+    degraded = caps.get("degraded", {})
+    for name, reason in sorted(degraded.items()):
+        print(f"  degraded: {name} ({reason})")
+    return 0
+
+
 _COMMANDS = {
     "dataset": dataset_main,
     "train": train_main,
@@ -1054,6 +1308,7 @@ _COMMANDS = {
     "suggest-dir": suggest_dir_main,
     "rewrite-dir": rewrite_dir_main,
     "serve": serve_main,
+    "ping": ping_main,
     "bundle": bundle_main,
     "cache": cache_main,
 }

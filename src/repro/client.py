@@ -34,6 +34,7 @@ given up waiting.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import socket
 import time
@@ -361,8 +362,15 @@ class Client:
         if self._broken:
             self._reconnect()
 
-    def _stream(self, request: protocol.SuggestRequest,
-                revive=FileSuggestions.from_payload) -> Iterator:
+    def stream_request(
+        self, request: protocol.SuggestRequest,
+    ) -> Iterator[protocol.FileResult]:
+        """Stream one request's raw :class:`FileResult` frames.
+
+        The index-tagged, payload-level form of :meth:`_stream` — what
+        a fabric relay forwards verbatim onto a supervisor queue.
+        Retry, reconnect, and exactly-once index dedup apply the same.
+        """
         request = self._with_deadline(request)
         seen: set[int] = set()
         failures = 0
@@ -383,12 +391,17 @@ class Client:
                         # re-served after a reconnect: already yielded
                         continue
                     seen.add(message.index)
-                    yield revive(message.name, message.payload)
+                    yield message
             except ClientError as exc:
                 failures += 1
                 # on return (vs raise) the request is re-issued: it is
                 # idempotent and `seen` dedups the re-served files
                 self._absorb_failure(exc, failures)
+
+    def _stream(self, request: protocol.SuggestRequest,
+                revive=FileSuggestions.from_payload) -> Iterator:
+        for message in self.stream_request(request):
+            yield revive(message.name, message.payload)
 
     def _batch(self, request: protocol.SuggestRequest,
                revive=FileSuggestions.from_payload) -> list:
@@ -431,6 +444,63 @@ class Client:
             raise ClientError(
                 f"expected pong, got {reply.KIND!r}", code="bad-reply")
         return reply
+
+    # -- fabric: bundle distribution + network store -------------------------
+
+    def _require_fabric(self) -> None:
+        if not self.capabilities.get("fabric"):
+            raise ClientError(
+                "server does not advertise the 'fabric' capability "
+                "(older daemon?)", code="fabric-unsupported")
+
+    def _roundtrip(self, request, reply_type):
+        """One request frame → one typed reply frame, no retry."""
+        if self._broken:
+            self._reconnect()
+        self._drain_pending()
+        self._write(request)
+        reply = self._read()
+        if not isinstance(reply, reply_type):
+            raise ClientError(
+                f"expected {reply_type.KIND!r}, got {reply.KIND!r}",
+                code="bad-reply")
+        return reply
+
+    def bundle_have(self, sha256: str) -> protocol.BundleHaveOk:
+        """Ask whether the server holds the archive hashing to
+        ``sha256`` — the cheap half of push-once distribution."""
+        self._require_fabric()
+        return self._roundtrip(protocol.BundleHave(sha256=sha256),
+                               protocol.BundleHaveOk)
+
+    def bundle_push(self, data: bytes, *, sha256: str | None = None,
+                    name: str | None = None) -> protocol.BundlePushOk:
+        """Push one ``pack_bundle`` archive; the server verifies the
+        hash, caches the archive, and starts serving it."""
+        self._require_fabric()
+        if sha256 is None:
+            sha256 = hashlib.sha256(data).hexdigest()
+        encoded = base64.b64encode(data).decode("ascii")
+        return self._roundtrip(
+            protocol.BundlePush(sha256=sha256, data=encoded, name=name),
+            protocol.BundlePushOk)
+
+    def store_op(self, op: str, *, layer: str | None = None,
+                 key: str | None = None, model_key: str | None = None,
+                 entry: dict | None = None,
+                 args: dict | None = None) -> protocol.StoreOk:
+        """One operation against the server's suggestion store.
+
+        The raw primitive under
+        :class:`~repro.fabric.netstore.NetworkStore`; see
+        :class:`~repro.serve.protocol.StoreOp` for the op shapes.
+        """
+        self._require_fabric()
+        return self._roundtrip(
+            protocol.StoreOp(op=op, layer=layer, key=key,
+                             model_key=model_key, entry=entry,
+                             args=dict(args or {})),
+            protocol.StoreOk)
 
     def stream_sources(
         self, named_sources: list[tuple[str, str]], *,

@@ -1,0 +1,93 @@
+"""Content-addressed bundle distribution across serve peers.
+
+An archive produced by :func:`~repro.artifacts.bundle.pack_bundle` is
+addressed by the SHA-256 of its bytes.  Before a coordinator fans a
+run out it *provisions* its peers: ``bundle-have(sha)`` asks whether a
+peer already holds the content, and only a miss triggers a
+``bundle-push`` carrying the bytes — so an archive transits the wire
+at most once per peer, ever, and ``repro suggest-dir --peers A,B
+--bundle x.tar.gz`` is self-provisioning against empty daemons.  The
+receiving peer recomputes the digest before trusting the archive
+(:meth:`~repro.artifacts.registry.BundleRegistry.add_archive` refuses
+mismatches), caches it in its registry under a hash-addressed name,
+and serves it immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.artifacts.bundle import pack_bundle
+from repro.artifacts.registry import archive_sha256, bundle_name_from_path
+from repro.client import Client, RetryPolicy, connect
+
+
+@dataclass(frozen=True)
+class PeerBundle:
+    """Outcome of provisioning one peer with one archive."""
+
+    peer: str
+    name: str
+    sha256: str
+    #: whether the archive's bytes actually crossed the wire — False
+    #: is the cache hit the push-once contract promises on re-runs
+    pushed: bool
+
+
+def archive_for(bundle: str | Path, scratch_dir: str | Path) -> Path:
+    """``bundle`` as a single-file archive, packing directories.
+
+    A path that is already an archive file is returned untouched; a
+    bundle *directory* is packed into ``scratch_dir`` first — the wire
+    ships archives only, so hashes are well-defined.
+    """
+    path = Path(bundle)
+    if path.is_file():
+        return path
+    archive = Path(scratch_dir) / f"{path.name or 'bundle'}.tar.gz"
+    pack_bundle(path, archive)
+    return archive
+
+
+def ensure_bundle(client: Client, archive: str | Path, *,
+                  sha256: str | None = None,
+                  name: str | None = None) -> tuple[str, bool]:
+    """Make one connected peer serve ``archive``; push only on miss.
+
+    Returns ``(serving_name, pushed)`` — the registry name the peer
+    serves the content under (which may be a pre-existing name if the
+    peer already held the hash) and whether bytes were shipped.
+    """
+    path = Path(archive)
+    if sha256 is None:
+        sha256 = archive_sha256(path)
+    have = client.bundle_have(sha256)
+    if have.have and have.name is not None:
+        return have.name, False
+    reply = client.bundle_push(
+        path.read_bytes(), sha256=sha256,
+        name=name or bundle_name_from_path(path))
+    return reply.name, not reply.cached
+
+
+def provision_peers(peers, archive: str | Path, *,
+                    timeout: float = 120.0,
+                    retry: RetryPolicy | None = None) -> list[PeerBundle]:
+    """Ensure every peer serves ``archive``, hashing it exactly once.
+
+    One short-lived connection per peer; failures propagate — a run
+    must not start against a fleet that is only partially provisioned.
+    """
+    path = Path(archive)
+    sha256 = archive_sha256(path)
+    name = bundle_name_from_path(path)
+    report: list[PeerBundle] = []
+    for peer in peers:
+        with connect(peer, timeout=timeout, retry=retry,
+                     client_id="repro.fabric/provision") as client:
+            served, pushed = ensure_bundle(client, path, sha256=sha256,
+                                           name=name)
+        report.append(PeerBundle(peer=peer, name=served, sha256=sha256,
+                                 pushed=pushed))
+    return report

@@ -1,0 +1,178 @@
+"""Network ``SuggestionStore``: one warm cache shared fleet-wide.
+
+:class:`NetworkStore` duck-types the on-disk
+:class:`~repro.serve.store.SuggestionStore` — the same
+``get_parse``/``put_parse``, ``get_suggestions``/``put_suggestions``,
+``get_verdict``/``put_verdict`` layers, the same ``gc``/``fsck``/
+``describe`` maintenance surface, the same hit/miss/write-error
+counters — but executes every operation against a ``repro serve``
+daemon's store over the wire (:class:`~repro.serve.protocol.StoreOp`).
+The daemon runs the real on-disk store, so the atomic-commit contract
+(tmp + rename, torn entries degrade to misses) is *inherited*, not
+re-implemented, and a corpus one peer just computed is warm for every
+other peer pointing its ``--cache-dir net:ADDR`` at the same daemon.
+
+Failure semantics follow the store's "accelerator, not product" rule:
+a network failure on ``get`` degrades to a miss, on ``put`` to a
+``write_errors`` count — a dead cache daemon slows a run down, it
+never fails one.  Maintenance operations (``gc``/``fsck``/
+``describe``) raise instead: an operator pruning a cache must know
+the cache was unreachable.
+"""
+
+from __future__ import annotations
+
+from repro.client import Client, ClientError, RetryPolicy, connect
+
+#: codes that mean the daemon will never serve store ops on this
+#: connection — reconnecting cannot help, so the store goes dormant
+_FATAL_CODES = ("fabric-unsupported", "no-store", "protocol-mismatch",
+                "bad-address")
+
+
+class NetworkStore:
+    """Store backend speaking the daemon's store operations."""
+
+    def __init__(self, address: str, *, timeout: float = 60.0,
+                 retry: RetryPolicy | None = None) -> None:
+        self.address = address
+        #: spec string a shard worker re-opens this backend from
+        #: (mirrors the on-disk store's ``base`` root attribute)
+        self.base = f"net:{address}"
+        self.timeout = timeout
+        self.retry = retry
+        self._client: Client | None = None
+        #: a non-transient refusal was seen (no store on the daemon,
+        #: capability missing): serve misses instead of re-dialing
+        self._dead = False
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.suggest_hits = 0
+        self.suggest_misses = 0
+        self.verdict_hits = 0
+        self.verdict_misses = 0
+        self.write_errors = 0
+
+    # -- connection plumbing -------------------------------------------------
+
+    def _connect(self) -> Client:
+        if self._client is None:
+            client = connect(self.address, timeout=self.timeout,
+                             retry=self.retry,
+                             client_id="repro.netstore")
+            if not client.capabilities.get("network_store"):
+                client.close()
+                raise ClientError(
+                    f"daemon at {self.address} has no store to share "
+                    f"(started without --cache-dir?)", code="no-store")
+            self._client = client
+        return self._client
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def _op(self, op: str, **kw):
+        """One store op, raising on failure (maintenance semantics)."""
+        try:
+            return self._connect().store_op(op, **kw)
+        except (ClientError, OSError) as exc:
+            self._drop()
+            if getattr(exc, "code", None) in _FATAL_CODES:
+                self._dead = True
+            raise
+
+    # -- the cache surface (degrading, like the on-disk store) ---------------
+
+    def _try_get(self, layer: str, key: str,
+                 model_key: str | None = None) -> dict | None:
+        if self._dead:
+            return None
+        try:
+            return self._op("get", layer=layer, key=key,
+                            model_key=model_key).entry
+        except (ClientError, OSError):
+            return None
+
+    def _try_put(self, layer: str, key: str, entry: dict,
+                 model_key: str | None = None) -> None:
+        if self._dead:
+            self.write_errors += 1
+            return
+        try:
+            self._op("put", layer=layer, key=key, entry=entry,
+                     model_key=model_key)
+        except (ClientError, OSError):
+            self.write_errors += 1
+
+    def get_parse(self, key: str) -> dict | None:
+        payload = self._try_get("parse", key)
+        if payload is None:
+            self.parse_misses += 1
+        else:
+            self.parse_hits += 1
+        return payload
+
+    def put_parse(self, key: str, payload: dict) -> None:
+        self._try_put("parse", key, payload)
+
+    def get_suggestions(self, model_key: str, key: str) -> dict | None:
+        payload = self._try_get("suggest", key, model_key)
+        if payload is None:
+            self.suggest_misses += 1
+        else:
+            self.suggest_hits += 1
+        return payload
+
+    def put_suggestions(self, model_key: str, key: str,
+                        payload: dict) -> None:
+        self._try_put("suggest", key, payload, model_key)
+
+    def get_verdict(self, key: str) -> dict | None:
+        payload = self._try_get("verdict", key)
+        if payload is None:
+            self.verdict_misses += 1
+        else:
+            self.verdict_hits += 1
+        return payload
+
+    def put_verdict(self, key: str, payload: dict) -> None:
+        self._try_put("verdict", key, payload)
+
+    # -- maintenance (raising: operators must see failures) ------------------
+
+    def gc(self, max_bytes: int | None = None,
+           max_age_days: float | None = None,
+           now: float | None = None) -> dict:
+        args: dict = {}
+        if max_bytes is not None:
+            args["max_bytes"] = max_bytes
+        if max_age_days is not None:
+            args["max_age_days"] = max_age_days
+        if now is not None:
+            args["now"] = now
+        return self._op("gc", args=args).report
+
+    def fsck(self, remove: bool = True) -> dict:
+        return self._op("fsck", args={"remove": remove}).report
+
+    def describe(self) -> dict:
+        return self._op("describe").report
+
+    def stats(self) -> dict:
+        return {
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "suggest_hits": self.suggest_hits,
+            "suggest_misses": self.suggest_misses,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "write_errors": self.write_errors,
+        }

@@ -37,10 +37,21 @@ from repro.serve.pipeline import (
     SuggestionService,
     build_service,
 )
-from repro.serve.plan import Shard, auto_shards, plan_shards, resolve_shards
+from repro.serve.plan import (
+    Shard,
+    auto_shards,
+    plan_peer_shards,
+    plan_shards,
+    resolve_shards,
+)
 from repro.serve.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import SuggestServer
-from repro.serve.store import STORE_VERSION, SuggestionStore, content_key
+from repro.serve.store import (
+    STORE_VERSION,
+    SuggestionStore,
+    content_key,
+    open_store,
+)
 from repro.serve.stream import ServeError, merge_results, stream_shards
 from repro.serve.worker import WorkerSpec
 
@@ -65,8 +76,10 @@ __all__ = [
     "build_service",
     "content_key",
     "merge_results",
+    "open_store",
     "parse_many",
     "parse_one",
+    "plan_peer_shards",
     "plan_shards",
     "resolve_shards",
     "stream_shards",

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.serve.parse import ParsedFile, parse_many
-from repro.serve.store import SuggestionStore, content_key
+from repro.serve.store import SuggestionStore, content_key, open_store
 from repro.suggest import LoopRequest, PragmaSuggester, Suggestion
 
 
@@ -641,9 +641,11 @@ def build_service(source, config: ServeConfig | None = None,
     ships for a bundle (asking a bundle for a family it lacks is an
     error).  ``cache_dir`` adds a persistent :class:`SuggestionStore`
     so warm runs over unchanged files skip parsing and inference
-    entirely.
+    entirely.  A ``cache_dir`` of the form ``net:HOST:PORT`` mounts a
+    remote daemon's store instead of a local directory
+    (:func:`~repro.serve.store.open_store`).
     """
-    store = SuggestionStore(cache_dir) if cache_dir is not None else None
+    store = open_store(cache_dir) if cache_dir is not None else None
     bundle_path = None
     if hasattr(source, "graph_model"):
         parallel = source.graph_model(representation="aug", task="parallel")

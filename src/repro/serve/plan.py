@@ -53,6 +53,21 @@ def auto_shards(n_files: int, total_bytes: int,
     return max(1, min(cpus, n_files, by_bytes))
 
 
+def plan_peer_shards(n_peers: int,
+                     named_sources: list[tuple[str, str]]) -> int:
+    """Shard count for fanning a corpus out across remote peers.
+
+    One shard per peer — the peer's own daemon batches its slice into
+    block-diagonal forwards, so finer local sharding only adds frames —
+    capped by the file count (a file is still the unit of work).
+    Remote peers have no local-CPU floor: even on a one-core
+    coordinator, two peers compute in parallel.
+    """
+    if n_peers < 1:
+        raise ValueError(f"need at least one peer, got {n_peers}")
+    return max(1, min(n_peers, len(named_sources)))
+
+
 def resolve_shards(shards, named_sources: list[tuple[str, str]]) -> int:
     """Normalise a shard setting (int, 0, or ``"auto"``) to a count."""
     if shards == "auto" or shards == 0:

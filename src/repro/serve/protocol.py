@@ -72,8 +72,11 @@ class ProtocolError(RuntimeError):
     ``protocol-mismatch`` (handshake refusal), ``unknown-bundle``,
     ``serve-error``, ``shutting-down``, ``busy`` (request-level;
     ``busy`` means the bundle's admission queue is full — back off
-    and retry on the same connection) and ``deadline-exceeded`` (the
-    request's own ``deadline_s`` ran out before it finished).
+    and retry on the same connection), ``deadline-exceeded`` (the
+    request's own ``deadline_s`` ran out before it finished),
+    ``hash-mismatch`` (a pushed bundle archive's bytes do not hash to
+    the sha256 it claimed) and ``no-store`` (a store operation against
+    a daemon running without a persistent cache).
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -526,16 +529,22 @@ class Pong:
     token: str = ""
     queued: int = 0
     running: int = 0
+    #: the server's capability dict (additive; old servers omit it),
+    #: so one probe answers "how busy" *and* "what do you serve"
+    capabilities: dict = field(default_factory=dict)
 
     def to_wire(self) -> dict:
         return {"kind": self.KIND, "token": self.token,
-                "queued": self.queued, "running": self.running}
+                "queued": self.queued, "running": self.running,
+                "capabilities": self.capabilities}
 
     @classmethod
     def from_wire(cls, payload: dict) -> "Pong":
         return cls(token=_get(payload, "token", str, default=""),
                    queued=_get(payload, "queued", int, default=0),
-                   running=_get(payload, "running", int, default=0))
+                   running=_get(payload, "running", int, default=0),
+                   capabilities=_get(payload, "capabilities", dict,
+                                     default={}))
 
 
 @dataclass(frozen=True)
@@ -552,11 +561,230 @@ class Goodbye:
         return cls()
 
 
+_SHA256_LEN = 64
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _get_sha256(payload: dict, key: str) -> str:
+    value = _get(payload, key, str)
+    if len(value) != _SHA256_LEN or not set(value) <= _HEX_DIGITS:
+        raise ProtocolError("bad-request",
+                            f"{key} must be a lowercase sha256 hex digest")
+    return value
+
+
+#: characters a store/bundle key may contain — everything the store
+#: embeds in a file name, nothing that can traverse out of its root
+_KEY_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _get_key(payload: dict, key: str, *,
+             optional: bool = False) -> str | None:
+    value = _get(payload, key, str, default=None)
+    if value is None:
+        if optional:
+            return None
+        raise ProtocolError("bad-request", f"{key} is required")
+    if (not value or len(value) > 128 or not set(value) <= _KEY_CHARS
+            or value.startswith(".")):
+        raise ProtocolError("bad-request",
+                            f"{key} is not a valid store key")
+    return value
+
+
+@dataclass(frozen=True)
+class BundleHave:
+    """Client → server: "do you already hold this archive?"
+
+    The content-addressed half of bundle distribution: archives are
+    addressed by the SHA-256 of their bytes, so a coordinator asks
+    before pushing and an archive transits the wire at most once per
+    peer.  Additive, behind the ``fabric`` capability.
+    """
+
+    KIND = "bundle_have"
+
+    sha256: str
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "sha256": self.sha256}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "BundleHave":
+        return cls(sha256=_get_sha256(payload, "sha256"))
+
+
+@dataclass(frozen=True)
+class BundleHaveOk:
+    """Server → client: answer to :class:`BundleHave`.
+
+    ``name`` is the registry name the archive serves under when held.
+    """
+
+    KIND = "bundle_have_ok"
+
+    sha256: str
+    have: bool
+    name: str | None = None
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "sha256": self.sha256,
+                "have": self.have, "name": self.name}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "BundleHaveOk":
+        return cls(sha256=_get_sha256(payload, "sha256"),
+                   have=_get(payload, "have", bool),
+                   name=_get(payload, "name", str, default=None))
+
+
+@dataclass(frozen=True)
+class BundlePush:
+    """Client → server: ship one bundle archive, addressed by hash.
+
+    ``data`` is the base64 of the ``pack_bundle`` archive bytes (JSON
+    frames cannot carry raw bytes).  The receiver recomputes the
+    digest and refuses a mismatch with a ``hash-mismatch`` error — a
+    peer must never cache an archive under a hash it does not have.
+    """
+
+    KIND = "bundle_push"
+
+    sha256: str
+    data: str
+    name: str | None = None
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "sha256": self.sha256,
+                "data": self.data, "name": self.name}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "BundlePush":
+        name = _get(payload, "name", str, default=None)
+        if name is not None:
+            name = _get_key(payload, "name")
+        return cls(sha256=_get_sha256(payload, "sha256"),
+                   data=_get(payload, "data", str),
+                   name=name)
+
+
+@dataclass(frozen=True)
+class BundlePushOk:
+    """Server → client: the pushed archive is loaded and serving.
+
+    ``cached=True`` means the peer already held the hash and the push
+    was absorbed without reloading anything.
+    """
+
+    KIND = "bundle_push_ok"
+
+    sha256: str
+    name: str
+    cached: bool = False
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "sha256": self.sha256,
+                "name": self.name, "cached": self.cached}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "BundlePushOk":
+        return cls(sha256=_get_sha256(payload, "sha256"),
+                   name=_get(payload, "name", str),
+                   cached=_get(payload, "cached", bool, default=False))
+
+
+#: store operations a :class:`StoreOp` may request
+STORE_OPS = ("get", "put", "gc", "fsck", "describe")
+
+#: store layers addressable over the wire
+STORE_LAYERS = ("parse", "suggest", "verdict")
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    """Client → server: one operation against the daemon's store.
+
+    The network ``SuggestionStore`` backend: get/put against the
+    ``parse`` / ``suggest`` / ``verdict`` layers plus the ``gc`` /
+    ``fsck`` / ``describe`` maintenance surface, all executed against
+    the daemon's on-disk store so the atomic-commit contract is
+    inherited rather than re-implemented.  Additive, behind the
+    ``fabric`` capability (``network_store`` advertises whether this
+    daemon has a store at all).
+    """
+
+    KIND = "store"
+
+    op: str
+    layer: str | None = None
+    key: str | None = None
+    model_key: str | None = None
+    entry: dict | None = None
+    args: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "op": self.op, "layer": self.layer,
+                "key": self.key, "model_key": self.model_key,
+                "entry": self.entry, "args": self.args}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "StoreOp":
+        op = _get(payload, "op", str)
+        if op not in STORE_OPS:
+            raise ProtocolError("bad-request",
+                                f"unknown store op {op!r}")
+        layer = _get(payload, "layer", str, default=None)
+        key = model_key = None
+        entry = _get(payload, "entry", dict, default=None)
+        if op in ("get", "put"):
+            if layer not in STORE_LAYERS:
+                raise ProtocolError(
+                    "bad-request",
+                    f"store {op} needs a layer in {STORE_LAYERS}")
+            key = _get_key(payload, "key")
+            model_key = _get_key(payload, "model_key",
+                                 optional=layer != "suggest")
+            if op == "put" and entry is None:
+                raise ProtocolError("bad-request",
+                                    "store put needs an entry object")
+        return cls(op=op, layer=layer, key=key, model_key=model_key,
+                   entry=entry,
+                   args=_get(payload, "args", dict, default={}))
+
+
+@dataclass(frozen=True)
+class StoreOk:
+    """Server → client: a :class:`StoreOp` result.
+
+    ``entry`` answers ``get`` (``None`` = miss); ``report`` answers
+    the maintenance ops with the same dict the on-disk store returns.
+    """
+
+    KIND = "store_ok"
+
+    op: str = ""
+    entry: dict | None = None
+    report: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {"kind": self.KIND, "op": self.op, "entry": self.entry,
+                "report": self.report}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "StoreOk":
+        return cls(op=_get(payload, "op", str, default=""),
+                   entry=_get(payload, "entry", dict, default=None),
+                   report=_get(payload, "report", dict, default={}))
+
+
 _MESSAGES = {
     cls.KIND: cls
     for cls in (Hello, HelloOk, SuggestRequest, RewriteRequest,
                 FileResult, BatchResult, Done, Error, Goodbye,
-                Ping, Pong)
+                Ping, Pong, BundleHave, BundleHaveOk, BundlePush,
+                BundlePushOk, StoreOp, StoreOk)
 }
 
 

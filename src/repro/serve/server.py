@@ -58,6 +58,10 @@ keeps streaming.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
+import hashlib
+import os
 import socket
 import threading
 import time
@@ -68,6 +72,7 @@ from pathlib import Path
 
 from repro.serve import protocol
 from repro.serve.pipeline import ServeConfig, SuggestionService
+from repro.serve.store import open_store
 
 #: seconds one reply frame may stall on client backpressure before the
 #: client is considered gone
@@ -324,10 +329,27 @@ class SuggestServer:
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
                  round_files: int = DEFAULT_ROUND_FILES,
-                 degraded: dict[str, str] | None = None) -> None:
-        if not services:
+                 degraded: dict[str, str] | None = None,
+                 serve_config: ServeConfig | None = None,
+                 cache_dir: str | Path | None = None,
+                 bundle_cache_dir: str | Path | None = None) -> None:
+        if not services and bundle_cache_dir is None:
             raise ValueError("a SuggestServer needs at least one service")
         self.services = dict(services)
+        #: accepting ``bundle-push``: pushed archives are cached here
+        #: under their content hash; ``None`` refuses pushes.  A server
+        #: with pushes enabled may start with *no* services and acquire
+        #: them all over the wire (self-provisioning peers).
+        self.bundle_cache_dir = (None if bundle_cache_dir is None
+                                 else Path(bundle_cache_dir))
+        #: config + store root that services built from pushed bundles
+        #: inherit, so a pushed advisor serves exactly like a local one
+        self._serve_config = serve_config
+        self._cache_dir = cache_dir
+        #: archive sha256 → serving name, for ``bundle-have`` lookups
+        #: and hash-prefix bundle refs in requests
+        self._hashes: dict[str, str] = {}
+        self._own_store = None      # lazily opened over _cache_dir
         #: bundles that failed to load at startup: name → reason.  The
         #: daemon serves what it has and advertises what it lost, so a
         #: fleet rollout with one corrupt artifact degrades instead of
@@ -340,9 +362,10 @@ class SuggestServer:
         #: oracle over its whole filesystem
         self.local_roots = (None if local_roots is None else
                             tuple(Path(r).resolve() for r in local_roots))
-        self.default = default if default is not None \
-            else next(iter(self.services))
-        if self.default not in self.services:
+        self.default = default
+        if self.default is None and self.services:
+            self.default = next(iter(self.services))
+        if self.default is not None and self.default not in self.services:
             raise ValueError(f"default bundle {self.default!r} is not "
                              f"among {sorted(self.services)}")
         if queue_depth < 1:
@@ -363,6 +386,7 @@ class SuggestServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._drain_evt: asyncio.Event | None = None
         self._lanes: dict[str, _Lane] = {}
+        self._lane_tasks: list[asyncio.Task] = []
         self._conns: set[_Connection] = set()
         self._handler_tasks: set[asyncio.Task] = set()
         self._executor: ThreadPoolExecutor | None = None
@@ -510,12 +534,16 @@ class SuggestServer:
             self._drain_evt.set()
         self._lanes = {name: _Lane(name, service)
                        for name, service in self.services.items()}
+        workers = max(1, len(self._lanes))
+        if self.bundle_cache_dir is not None:
+            # headroom for lanes created by bundle pushes mid-serve
+            workers = max(workers, 4)
         self._executor = ThreadPoolExecutor(
-            max_workers=max(1, len(self._lanes)),
+            max_workers=workers,
             thread_name_prefix="repro-serve-compute")
-        lane_tasks = [loop.create_task(self._lane_loop(lane),
-                                       name=f"repro-lane-{lane.name}")
-                      for lane in self._lanes.values()]
+        self._lane_tasks = [loop.create_task(self._lane_loop(lane),
+                                             name=f"repro-lane-{lane.name}")
+                            for lane in self._lanes.values()]
         if self.unix_path is not None:
             server = await asyncio.start_unix_server(
                 self._on_connect, sock=self._sock)
@@ -535,9 +563,10 @@ class SuggestServer:
         finally:
             for task in list(self._handler_tasks):
                 task.cancel()
-            for task in lane_tasks:
+            for task in self._lane_tasks:
                 task.cancel()
-            await asyncio.gather(*lane_tasks, return_exceptions=True)
+            await asyncio.gather(*self._lane_tasks,
+                                 return_exceptions=True)
             for conn in list(self._conns):
                 conn.abort()
             self._executor.shutdown(wait=True, cancel_futures=True)
@@ -549,7 +578,12 @@ class SuggestServer:
     def from_registry(cls, registry, config: ServeConfig | None = None,
                       cache_dir: str | Path | None = None,
                       **net) -> "SuggestServer":
-        """One warm service per registered bundle, sharing one store."""
+        """One warm service per registered bundle, sharing one store.
+
+        Registry content hashes are carried over, so clients can
+        address these bundles by hash prefix and ``bundle-have``
+        answers truthfully for archives the daemon loaded locally.
+        """
         from repro.serve.pipeline import build_service
 
         services = {
@@ -557,7 +591,11 @@ class SuggestServer:
                                 cache_dir=cache_dir)
             for name in registry.names()
         }
-        return cls(services, default=registry.default, **net)
+        server = cls(services, default=registry.default,
+                     serve_config=config, cache_dir=cache_dir, **net)
+        server._hashes.update({sha: name for name, sha
+                               in registry.hashes().items()})
+        return server
 
     # -- capabilities --------------------------------------------------------
 
@@ -584,7 +622,28 @@ class SuggestServer:
             "deadlines": True,
             #: bundles that failed to load at startup: name → reason
             "degraded": dict(self.degraded),
+            # -- fabric: this daemon can be a peer in a serving fleet
+            "fabric": True,
+            "bundle_push": self.bundle_cache_dir is not None,
+            "network_store": self.shared_store() is not None,
         }
+
+    def shared_store(self):
+        """The store this daemon shares over the wire, or ``None``.
+
+        A server built over an explicit ``cache_dir`` serves that
+        store; otherwise the default service's (every
+        :meth:`from_registry` service shares one root anyway).
+        """
+        if self._cache_dir is not None:
+            if self._own_store is None:
+                self._own_store = open_store(self._cache_dir)
+            return self._own_store
+        service = (self.services.get(self.default)
+                   if self.default is not None else None)
+        if service is None and self.services:
+            service = next(iter(self.services.values()))
+        return None if service is None else service.store
 
     # -- connection protocol -------------------------------------------------
 
@@ -733,7 +792,23 @@ class SuggestServer:
                         queued=sum(len(lane.queue)
                                    for lane in self._lanes.values()),
                         running=sum(lane.running
-                                    for lane in self._lanes.values()))):
+                                    for lane in self._lanes.values()),
+                        capabilities=self.capabilities())):
+                    return
+                continue
+            if isinstance(message, protocol.BundleHave):
+                name = self._hashes.get(message.sha256)
+                if not conn.send(protocol.BundleHaveOk(
+                        sha256=message.sha256,
+                        have=name is not None, name=name)):
+                    return
+                continue
+            if isinstance(message, protocol.BundlePush):
+                if not await self._handle_push(conn, message):
+                    return
+                continue
+            if isinstance(message, protocol.StoreOp):
+                if not await self._handle_store(conn, message):
                     return
                 continue
             if not isinstance(message, protocol.SuggestRequest):
@@ -744,6 +819,160 @@ class SuggestServer:
                 return
             if not await self._serve_request(conn, message):
                 return
+
+    # -- fabric: bundle distribution + the shared store ----------------------
+
+    async def _handle_push(self, conn: _Connection,
+                           message: protocol.BundlePush) -> bool:
+        """Accept one content-addressed bundle archive over the wire.
+
+        The digest is recomputed from the received bytes and a mismatch
+        with the client's claim is refused — a peer must never serve an
+        advisor under a content address it cannot verify.  A hash the
+        daemon already holds is a pure cache hit: no disk write, no
+        service build, ``cached=True`` in the reply.
+        """
+        if self.bundle_cache_dir is None:
+            return conn.send(protocol.Error(
+                code="bad-request",
+                message="this daemon does not accept bundle pushes; "
+                        "start it with --accept-bundles"))
+        if self._drain_evt.is_set():
+            return conn.send(protocol.Error(
+                code="shutting-down",
+                message="server is draining; push elsewhere"))
+        try:
+            data = base64.b64decode(message.data, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            return conn.send(protocol.Error(
+                code="bad-request",
+                message=f"bundle data is not valid base64: {exc}"))
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != message.sha256:
+            return conn.send(protocol.Error(
+                code="hash-mismatch",
+                message=f"pushed bytes hash to {digest[:12]}…, the "
+                        f"push claimed {message.sha256[:12]}…; "
+                        f"refusing the archive"))
+        if digest in self._hashes:
+            return conn.send(protocol.BundlePushOk(
+                sha256=digest, name=self._hashes[digest], cached=True))
+        loop = asyncio.get_running_loop()
+        try:
+            service = await loop.run_in_executor(
+                None, self._install_bundle, digest, data)
+        except Exception as exc:
+            return conn.send(protocol.Error(
+                code="bundle-error",
+                message=f"pushed bundle failed to load: {exc}"))
+        if digest in self._hashes:
+            # a concurrent push of the same content won the race while
+            # we were off-loop; theirs serves, ours was warm-up
+            return conn.send(protocol.BundlePushOk(
+                sha256=digest, name=self._hashes[digest], cached=True))
+        name = message.name or f"sha-{digest[:12]}"
+        if name in self.services or name in self.degraded:
+            # same name, different content: serve both, disambiguated
+            name = f"{name}@{digest[:8]}"
+        self.services[name] = service
+        self._hashes[digest] = name
+        if self.default is None:
+            self.default = name
+        lane = _Lane(name, service)
+        self._lanes[name] = lane
+        self._lane_tasks.append(loop.create_task(
+            self._lane_loop(lane), name=f"repro-lane-{name}"))
+        return conn.send(protocol.BundlePushOk(
+            sha256=digest, name=name, cached=False))
+
+    def _install_bundle(self, digest: str, data: bytes):
+        """Cache + load one pushed archive (compute thread).
+
+        The archive lands in ``bundle_cache_dir`` under its content
+        hash (atomically — a crashed push must not leave a torn
+        archive a restart would trust), then loads into a service
+        sharing the daemon's config and store root.
+        """
+        from repro.artifacts.bundle import SuggesterBundle
+        from repro.serve.pipeline import build_service
+
+        cache = self.bundle_cache_dir
+        cache.mkdir(parents=True, exist_ok=True)
+        archive = cache / f"{digest}.tar.gz"
+        if not archive.exists():
+            tmp = cache / f".{digest}.tmp-{os.getpid()}"
+            tmp.write_bytes(data)
+            os.replace(tmp, archive)
+        bundle = SuggesterBundle.load(archive)
+        return build_service(bundle, self._serve_config,
+                             cache_dir=self._cache_dir)
+
+    async def _handle_store(self, conn: _Connection,
+                            op: protocol.StoreOp) -> bool:
+        """Execute one remote store operation off-loop and reply."""
+        store = self.shared_store()
+        if store is None:
+            return conn.send(protocol.Error(
+                code="no-store",
+                message="this daemon has no suggestion store to share "
+                        "(started without --cache-dir)"))
+        loop = asyncio.get_running_loop()
+        try:
+            reply = await loop.run_in_executor(
+                None, self._store_execute, store, op)
+        except Exception as exc:
+            return conn.send(protocol.Error(
+                code="serve-error",
+                message=f"store {op.op} failed: {exc}"))
+        return conn.send(reply)
+
+    @staticmethod
+    def _store_execute(store, op: protocol.StoreOp) -> protocol.StoreOk:
+        """One store op against the daemon's store (compute thread)."""
+        if op.op == "get":
+            if op.layer == "parse":
+                entry = store.get_parse(op.key)
+            elif op.layer == "suggest":
+                entry = store.get_suggestions(op.model_key, op.key)
+            else:
+                entry = store.get_verdict(op.key)
+            return protocol.StoreOk(op="get", entry=entry)
+        if op.op == "put":
+            if op.layer == "parse":
+                store.put_parse(op.key, op.entry)
+            elif op.layer == "suggest":
+                store.put_suggestions(op.model_key, op.key, op.entry)
+            else:
+                store.put_verdict(op.key, op.entry)
+            return protocol.StoreOk(op="put")
+        if op.op == "gc":
+            kwargs = {key: op.args[key]
+                      for key in ("max_bytes", "max_age_days", "now")
+                      if op.args.get(key) is not None}
+            return protocol.StoreOk(op="gc", report=store.gc(**kwargs))
+        if op.op == "fsck":
+            remove = bool(op.args.get("remove", True))
+            return protocol.StoreOk(op="fsck",
+                                    report=store.fsck(remove=remove))
+        return protocol.StoreOk(op="describe", report=store.describe())
+
+    def _resolve_ref(self, ref: str) -> str:
+        """A request's bundle ref as a serving name.
+
+        Exact names win; otherwise the ref matches as a prefix of the
+        known archive hashes — ambiguity is refused, mirroring
+        :meth:`~repro.artifacts.registry.BundleRegistry.resolve`.
+        """
+        if ref in self.services or ref in self.degraded:
+            return ref
+        matches = sorted({name for sha, name in self._hashes.items()
+                          if sha.startswith(ref)})
+        if len(matches) > 1:
+            raise protocol.ProtocolError(
+                "unknown-bundle",
+                f"bundle ref {ref!r} is ambiguous: matches "
+                f"{matches}; use a longer hash prefix")
+        return matches[0] if matches else ref
 
     def _check_local(self, path: Path) -> None:
         """Refuse server-side reads outside the allowed roots."""
@@ -803,7 +1032,19 @@ class SuggestServer:
             return conn.send(protocol.Error(
                 code="shutting-down",
                 message="server is draining; retry elsewhere"))
-        name = request.bundle if request.bundle is not None else self.default
+        if request.bundle is not None:
+            try:
+                name = self._resolve_ref(request.bundle)
+            except protocol.ProtocolError as exc:
+                return conn.send(protocol.Error(code=exc.code,
+                                                message=str(exc)))
+        else:
+            name = self.default
+        if name is None:
+            return conn.send(protocol.Error(
+                code="unknown-bundle",
+                message="this daemon serves no bundles yet; push one "
+                        "with bundle-push or restart it with --bundle"))
         service = self.services.get(name)
         if service is None:
             if name in self.degraded:

@@ -48,6 +48,26 @@ def content_key(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
+def open_store(spec: "str | Path"):
+    """A store for ``spec``: a directory path, or ``net:ADDR``.
+
+    ``net:HOST:PORT`` / ``net:unix:/path.sock`` open a
+    :class:`~repro.fabric.netstore.NetworkStore` speaking the store
+    operations of the wire protocol against a ``repro serve`` daemon —
+    same get/put/gc/fsck contract, shared fleet-wide.  Anything else
+    is a local on-disk root.  Every ``--cache-dir`` surface (services,
+    shard workers, ``repro cache``) resolves through here, so a worker
+    respawned from a :class:`~repro.serve.worker.WorkerSpec` re-opens
+    whichever backend its parent used.
+    """
+    text = str(spec)
+    if text.startswith("net:"):
+        from repro.fabric.netstore import NetworkStore
+
+        return NetworkStore(text[len("net:"):])
+    return SuggestionStore(spec)
+
+
 class SuggestionStore:
     """Disk-backed parse + suggestion cache rooted at ``root``."""
 

@@ -172,8 +172,16 @@ def stream_shards(
         # in-process instead of failing the request.
         for worker in workers.values():
             worker.proc.terminate()
-        service = spec.build_service()
         named = list(named_sources)
+        if getattr(spec, "peers", ()):
+            # Remote shards don't need processes to parallelize — the
+            # peers compute; relay the whole corpus through one of
+            # them from this process.
+            from repro.fabric.remote import iter_inline
+
+            yield from iter_inline(spec, named, revive)
+            return
+        service = spec.build_service()
         if getattr(spec, "mode", "suggest") == "rewrite":
             yield from service.iter_rewrites(
                 named, verify=spec.verify,

@@ -1,0 +1,145 @@
+"""Wire-level tests for the fabric protocol extensions.
+
+The three additive message families behind the ``fabric`` capability:
+content-addressed bundle distribution (``bundle_have`` /
+``bundle_push``) and the network store operations (``store``).  All
+are schema-checked on decode — a sha that is not a sha, a store key
+that could traverse out of the cache root, or an unknown op must be
+refused at the frame boundary, before any handler sees it.
+"""
+
+import io
+
+import pytest
+
+from repro.serve.protocol import (
+    STORE_LAYERS,
+    STORE_OPS,
+    BundleHave,
+    BundleHaveOk,
+    BundlePush,
+    BundlePushOk,
+    ProtocolError,
+    StoreOk,
+    StoreOp,
+    decode_message,
+    read_message,
+    write_message,
+)
+
+SHA = "ab" * 32
+
+
+def _round_trip(message):
+    buf = io.BytesIO()
+    write_message(buf, message)
+    buf.seek(0)
+    return read_message(buf)
+
+
+class TestBundleMessages:
+    def test_have_round_trip(self):
+        assert _round_trip(BundleHave(sha256=SHA)) == BundleHave(sha256=SHA)
+
+    def test_have_ok_round_trip(self):
+        reply = BundleHaveOk(sha256=SHA, have=True, name="advisor")
+        assert _round_trip(reply) == reply
+        miss = BundleHaveOk(sha256=SHA, have=False)
+        assert _round_trip(miss).name is None
+
+    def test_push_round_trip(self):
+        push = BundlePush(sha256=SHA, data="aGk=", name="advisor")
+        assert _round_trip(push) == push
+
+    def test_push_ok_round_trip(self):
+        reply = BundlePushOk(sha256=SHA, name="advisor", cached=True)
+        assert _round_trip(reply) == reply
+
+    @pytest.mark.parametrize("bad", [
+        "short",                 # wrong length
+        "AB" * 32,               # uppercase is not canonical
+        "zz" * 32,               # not hex
+        "ab" * 33,               # too long
+    ])
+    def test_malformed_sha_refused(self, bad):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "bundle_have", "sha256": bad})
+        assert exc.value.code == "bad-request"
+
+    @pytest.mark.parametrize("bad", [
+        "../evil",               # path traversal
+        ".hidden",               # leading dot
+        "a/b",                   # separator
+        "",                      # empty
+        "x" * 129,               # over-long
+    ])
+    def test_malformed_push_name_refused(self, bad):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "bundle_push", "sha256": SHA,
+                            "data": "aGk=", "name": bad})
+        assert exc.value.code == "bad-request"
+
+    def test_push_name_is_optional(self):
+        push = decode_message({"kind": "bundle_push", "sha256": SHA,
+                               "data": "aGk="})
+        assert push.name is None
+
+
+class TestStoreMessages:
+    def test_get_round_trip(self):
+        op = StoreOp(op="get", layer="suggest", key="k" * 64,
+                     model_key="m-1")
+        assert _round_trip(op) == op
+
+    def test_put_round_trip(self):
+        op = StoreOp(op="put", layer="parse", key="k" * 64,
+                     entry={"requests": []})
+        assert _round_trip(op) == op
+
+    def test_maintenance_round_trip(self):
+        op = StoreOp(op="gc", args={"max_bytes": 0})
+        assert _round_trip(op) == op
+        assert _round_trip(StoreOp(op="describe")).args == {}
+
+    def test_store_ok_round_trip(self):
+        assert _round_trip(StoreOk(op="get", entry=None)).entry is None
+        ok = StoreOk(op="gc", report={"removed_files": 3})
+        assert _round_trip(ok) == ok
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "store", "op": "drop-tables"})
+        assert exc.value.code == "bad-request"
+        assert "drop-tables" in str(exc.value)
+
+    @pytest.mark.parametrize("layer", [None, "bundles", "PARSE"])
+    def test_get_needs_a_known_layer(self, layer):
+        payload = {"kind": "store", "op": "get", "key": "k"}
+        if layer is not None:
+            payload["layer"] = layer
+        with pytest.raises(ProtocolError) as exc:
+            decode_message(payload)
+        assert exc.value.code == "bad-request"
+
+    def test_put_needs_an_entry(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "store", "op": "put",
+                            "layer": "parse", "key": "k"})
+        assert "entry" in str(exc.value)
+
+    def test_suggest_layer_needs_model_key(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"kind": "store", "op": "get",
+                            "layer": "suggest", "key": "k"})
+
+    @pytest.mark.parametrize("bad", ["../up", ".dot", "a b", ""])
+    def test_traversal_keys_refused(self, bad):
+        with pytest.raises(ProtocolError) as exc:
+            decode_message({"kind": "store", "op": "get",
+                            "layer": "parse", "key": bad})
+        assert exc.value.code == "bad-request"
+
+    def test_op_tables_are_closed(self):
+        # handlers dispatch on these; the wire schema must agree
+        assert STORE_OPS == ("get", "put", "gc", "fsck", "describe")
+        assert STORE_LAYERS == ("parse", "suggest", "verdict")
